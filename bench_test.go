@@ -1,0 +1,227 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment end to end and reports
+// the headline quantity via b.ReportMetric; cmd/spbench renders the full
+// artifacts. Shapes (who wins, by what factor, where crossovers fall) are
+// asserted in the package test suites; the benchmarks measure cost.
+package switchpointer
+
+import (
+	"strconv"
+	"testing"
+
+	"switchpointer/internal/experiments"
+	"switchpointer/internal/simtime"
+)
+
+func runExperiment(b *testing.B, run func() (*experiments.Result, error)) *experiments.Result {
+	b.Helper()
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// cell parses a numeric table cell.
+func cell(b *testing.B, res *experiments.Result, table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(res.Tables[table].Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell(%d,%d,%d): %v", table, row, col, err)
+	}
+	return v
+}
+
+// BenchmarkFig2aPriorityContention regenerates Figure 2(a): throughput and
+// inter-packet arrival timelines of the low-priority TCP flow under five
+// high-priority UDP burst batches, m ∈ {1,2,4,8,16}.
+func BenchmarkFig2aPriorityContention(b *testing.B) {
+	res := runExperiment(b, experiments.Fig2a)
+	// Summary table: max inter-packet gap at m=16 (paper: up to ~8–10 ms).
+	b.ReportMetric(cell(b, res, 2, 4, 2), "maxgap_m16_ms")
+}
+
+// BenchmarkFig2bMicroburst regenerates Figure 2(b): the FIFO variant.
+func BenchmarkFig2bMicroburst(b *testing.B) {
+	res := runExperiment(b, experiments.Fig2b)
+	b.ReportMetric(cell(b, res, 2, 4, 2), "maxgap_m16_ms")
+}
+
+// BenchmarkFig3RedLights regenerates Figure 3: victim throughput at S1/S2
+// across two sequential 400 µs red lights.
+func BenchmarkFig3RedLights(b *testing.B) {
+	res := runExperiment(b, experiments.Fig3)
+	// Throughput at S2 in the red-light window (row 11 ≈ t=5.5ms).
+	b.ReportMetric(cell(b, res, 0, 11, 2), "s2_gbps_at_5p5ms")
+}
+
+// BenchmarkFig4Cascades regenerates Figure 4: flow timelines with and
+// without the traffic cascade.
+func BenchmarkFig4Cascades(b *testing.B) {
+	runExperiment(b, experiments.Fig4)
+}
+
+// BenchmarkFig7DebuggingTime regenerates Figure 7: the four-phase debugging
+// time breakdown for priority contention, m ∈ {1..16}.
+func BenchmarkFig7DebuggingTime(b *testing.B) {
+	res := runExperiment(b, experiments.Fig7)
+	rows := res.Tables[0].Rows
+	b.ReportMetric(cell(b, res, 0, len(rows)-1, 5), "total_m16_ms")
+}
+
+// BenchmarkFig8LoadImbalance regenerates Figure 8: load-imbalance diagnosis
+// latency versus servers with relevant flows (4..96).
+func BenchmarkFig8LoadImbalance(b *testing.B) {
+	res := runExperiment(b, experiments.Fig8)
+	rows := res.Tables[0].Rows
+	b.ReportMetric(cell(b, res, 0, len(rows)-1, 1), "diag_96srv_ms")
+}
+
+// BenchmarkFig9DatapathThroughput regenerates Figure 9: measured datapath
+// throughput vs packet size for the OVS-like baseline and SwitchPointer
+// k=1/k=5.
+func BenchmarkFig9DatapathThroughput(b *testing.B) {
+	res := runExperiment(b, experiments.Fig9)
+	b.ReportMetric(cell(b, res, 0, 2, 3), "k5_gbps_256B")
+	b.ReportMetric(cell(b, res, 0, 0, 1), "baseline_gbps_64B")
+}
+
+// BenchmarkFig9PerPacket measures the raw per-packet pipeline costs that
+// Figure 9 is derived from.
+func BenchmarkFig9PerPacket(b *testing.B) {
+	d, err := experiments.NewDatapathBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.StepBaseline(i)
+		}
+	})
+	b.Run("switchpointer-k1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.StepSwitchPointer(i, 1)
+		}
+	})
+	b.Run("switchpointer-k5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.StepSwitchPointer(i, 5)
+		}
+	})
+	_ = d.Sink()
+}
+
+// BenchmarkFig10aMemory regenerates Figure 10(a): switch memory vs k over
+// the paper's (n, α) grid, with measured structures and measured MPHs.
+func BenchmarkFig10aMemory(b *testing.B) {
+	res := runExperiment(b, experiments.Fig10a)
+	b.ReportMetric(cell(b, res, 0, 2, 2), "mem_MB_n1M_a10_k3")
+}
+
+// BenchmarkFig10bBandwidth regenerates Figure 10(b): data→control plane
+// bandwidth vs k.
+func BenchmarkFig10bBandwidth(b *testing.B) {
+	res := runExperiment(b, experiments.Fig10b)
+	b.ReportMetric(cell(b, res, 0, 0, 2), "bw_Mbps_n1M_a10_k1")
+}
+
+// BenchmarkFig11Recycling regenerates Figure 11: pointer recycling periods.
+func BenchmarkFig11Recycling(b *testing.B) {
+	res := runExperiment(b, experiments.Fig11)
+	b.ReportMetric(cell(b, res, 0, 0, 2), "level2_ms_a10")
+}
+
+// BenchmarkFig12QueryResponse regenerates Figure 12: top-100 query response
+// time, SwitchPointer vs PathDump, 96 servers.
+func BenchmarkFig12QueryResponse(b *testing.B) {
+	res := runExperiment(b, experiments.Fig12)
+	rows := res.Tables[0].Rows
+	b.ReportMetric(cell(b, res, 0, len(rows)-1, 2), "pathdump_96srv_ms")
+	b.ReportMetric(cell(b, res, 0, 0, 1), "sp_1srv_ms")
+}
+
+// BenchmarkSec61Memory regenerates the §6.1 memory constants.
+func BenchmarkSec61Memory(b *testing.B) {
+	res := runExperiment(b, experiments.Sec61Memory)
+	b.ReportMetric(cell(b, res, 0, 0, 1), "mph_100K_KB")
+}
+
+// BenchmarkAblationRPCPooling quantifies the §6.2 connection-pooling fix.
+func BenchmarkAblationRPCPooling(b *testing.B) {
+	runExperiment(b, experiments.AblationRPCPooling)
+}
+
+// BenchmarkAblationStrawmanHash quantifies the §4.1.2 strawman hash table
+// against the minimal perfect hash.
+func BenchmarkAblationStrawmanHash(b *testing.B) {
+	runExperiment(b, experiments.AblationStrawmanHash)
+}
+
+// BenchmarkAblationPruning quantifies the §4.3 search-radius reduction.
+func BenchmarkAblationPruning(b *testing.B) {
+	runExperiment(b, experiments.AblationPruning)
+}
+
+// BenchmarkAblationHeaderModes compares commodity vs INT embedding.
+func BenchmarkAblationHeaderModes(b *testing.B) {
+	runExperiment(b, experiments.AblationHeaderModes)
+}
+
+// BenchmarkEndToEndRedLightsDiagnosis measures the complete §5.2 pipeline:
+// simulate, trigger, diagnose.
+func BenchmarkEndToEndRedLightsDiagnosis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := NewTestbed(Chain(2, 2, 2), Options{Queue: QueuePriority})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := tb.Host("h1-1")
+		f := tb.Host("h3-2")
+		victim := FlowKey{Src: a.IP(), Dst: f.IP(), SrcPort: 1, DstPort: 2, Proto: 6}
+		StartTCP(tb.Net, a, f, TCPConfig{Flow: victim, Priority: 1, Duration: 10 * Millisecond})
+		bHost := tb.Host("h1-2")
+		dHost := tb.Host("h2-2")
+		StartUDP(tb.Net, bHost, UDPConfig{
+			Flow:     FlowKey{Src: bHost.IP(), Dst: dHost.IP(), SrcPort: 3, DstPort: 4, Proto: 17},
+			Priority: 7, RateBps: 1_000_000_000,
+			Start: 5 * Millisecond, Duration: 400 * Microsecond})
+		tb.Run(30 * Millisecond)
+		if alert, ok := tb.AlertFor(victim); ok {
+			tb.Analyzer.DiagnoseContention(alert)
+		}
+	}
+}
+
+// BenchmarkSimulatorEventRate measures raw simulator throughput (events/s)
+// to document the substrate's capacity.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	tb, err := NewTestbed(Dumbbell(2, 2), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := tb.Host("L1")
+	dst := tb.Host("R1")
+	StartUDP(tb.Net, src, UDPConfig{
+		Flow:    FlowKey{Src: src.IP(), Dst: dst.IP(), SrcPort: 1, DstPort: 2, Proto: 17},
+		RateBps: 1_000_000_000, Duration: simtime.Second * 3600,
+	})
+	b.ResetTimer()
+	horizon := tb.Net.Now()
+	for i := 0; i < b.N; i++ {
+		horizon += Millisecond
+		tb.Net.RunUntil(horizon)
+	}
+	b.ReportMetric(float64(tb.Net.Engine.Processed())/float64(b.N), "events/iter")
+}
+
+// BenchmarkAblationPacketMix quantifies the §6.1 acceptability argument:
+// sustained throughput under realistic datacenter packet mixes.
+func BenchmarkAblationPacketMix(b *testing.B) {
+	res := runExperiment(b, experiments.AblationPacketMix)
+	// enterprise-dc row, SwitchPointer k=5 column.
+	b.ReportMetric(cell(b, res, 0, 2, 4), "k5_gbps_enterprise")
+}

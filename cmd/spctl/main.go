@@ -1,0 +1,143 @@
+// Command spctl reproduces an operator's debugging session: it runs a
+// scenario, waits for the host trigger, and invokes the analyzer the way §3's
+// worked example describes — printing the pointer retrievals, the pruned
+// search radius, the consulted hosts, and the conclusion with its timing
+// breakdown.
+//
+// Usage:
+//
+//	spctl -problem priority -m 8
+//	spctl -problem microburst -m 16
+//	spctl -problem redlights
+//	spctl -problem cascade
+//	spctl -problem loadimbalance -n 16
+//	spctl -problem topk -n 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"switchpointer/internal/analyzer"
+	"switchpointer/internal/scenario"
+	"switchpointer/internal/simtime"
+)
+
+func main() {
+	var (
+		problem = flag.String("problem", "priority", "priority | microburst | redlights | cascade | loadimbalance | topk")
+		m       = flag.Int("m", 8, "burst flows (priority/microburst)")
+		n       = flag.Int("n", 16, "servers (loadimbalance/topk)")
+	)
+	flag.Parse()
+
+	switch *problem {
+	case "priority", "microburst":
+		s, err := scenario.NewTooMuchTraffic(scenario.TooMuchTrafficConfig{
+			M: *m, Microburst: *problem == "microburst"})
+		check(err)
+		tb := s.Testbed
+		tb.Run(110 * simtime.Millisecond)
+		alert, ok := tb.AlertFor(s.Victim)
+		if !ok {
+			fail("no trigger fired — nothing to debug")
+		}
+		fmt.Printf("trigger: %s on %v at %v (%.2f → %.2f Gbps)\n",
+			alert.Kind, alert.Flow, alert.DetectedAt, alert.PrevGbps, alert.CurGbps)
+		printDiagnosis(tb.Analyzer.DiagnoseContention(alert))
+	case "redlights":
+		s, err := scenario.NewRedLights(scenario.Options{})
+		check(err)
+		tb := s.Testbed
+		tb.Run(30 * simtime.Millisecond)
+		alert, ok := tb.AlertFor(s.Victim)
+		if !ok {
+			fail("no trigger fired")
+		}
+		fmt.Printf("trigger: %s on %v at %v\n", alert.Kind, alert.Flow, alert.DetectedAt)
+		printDiagnosis(tb.Analyzer.DiagnoseContention(alert))
+	case "cascade":
+		s, err := scenario.NewCascades(true, scenario.Options{})
+		check(err)
+		tb := s.Testbed
+		tb.Run(60 * simtime.Millisecond)
+		alert, ok := tb.AlertFor(s.FlowCE)
+		if !ok {
+			fail("no trigger fired")
+		}
+		fmt.Printf("trigger: %s on %v at %v\n", alert.Kind, alert.Flow, alert.DetectedAt)
+		d := tb.Analyzer.DiagnoseCascade(alert)
+		printDiagnosis(d)
+		if len(d.Cascade) > 1 {
+			fmt.Println("cascade chain:")
+			for i, f := range d.Cascade {
+				fmt.Printf("  %d. %v\n", i, f)
+			}
+		}
+	case "loadimbalance":
+		s, err := scenario.NewLoadImbalance(*n, scenario.Options{})
+		check(err)
+		tb := s.Testbed
+		tb.Run(s.MaxFlowDuration() + 100*simtime.Millisecond)
+		ag := tb.SwitchAgents[s.Suspect.NodeID()]
+		nowEpoch := ag.LocalEpochAt(tb.Net.Now())
+		rep := tb.Analyzer.DiagnoseLoadImbalance(s.Suspect.NodeID(),
+			simtime.EpochRange{Lo: nowEpoch - 99, Hi: nowEpoch}, tb.Net.Now())
+		fmt.Printf("suspect switch: %s\n", s.Suspect.NodeName())
+		for _, l := range rep.Links {
+			fmt.Printf("  link %d: %d flows, sizes %d..%d B\n", l.Link, l.Flows, l.Min(), l.Max())
+		}
+		fmt.Printf("conclusion: %s\n", rep.Conclusion)
+		fmt.Printf("hosts contacted: %d, diagnosis time: %v\n", rep.HostsContacted, rep.Clock.Total())
+	case "topk":
+		s, err := scenario.NewTopKWorkload(*n, 96, scenario.Options{})
+		check(err)
+		tb := s.Testbed
+		tb.Run(50 * simtime.Millisecond)
+		window := simtime.EpochRange{Lo: 0, Hi: 10}
+		sp := tb.Analyzer.TopK(s.Queried.NodeID(), 100, window, analyzer.ModeSwitchPointer, tb.Net.Now())
+		pd := tb.Analyzer.TopK(s.Queried.NodeID(), 100, window, analyzer.ModePathDump, tb.Net.Now())
+		fmt.Printf("top-100 at %s: %d flows found\n", s.Queried.NodeName(), len(sp.Flows))
+		for i, fb := range sp.Flows {
+			if i >= 5 {
+				fmt.Printf("  ... %d more\n", len(sp.Flows)-5)
+				break
+			}
+			fmt.Printf("  %2d. %v — %d B\n", i+1, fb.Flow, fb.Bytes)
+		}
+		fmt.Printf("SwitchPointer: %d hosts, %v\n", sp.HostsContacted, sp.Clock.Total())
+		fmt.Printf("PathDump:      %d hosts, %v\n", pd.HostsContacted, pd.Clock.Total())
+	default:
+		fmt.Fprintf(os.Stderr, "spctl: unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+}
+
+func printDiagnosis(d *analyzer.Diagnosis) {
+	fmt.Printf("diagnosis: %s\n", d.Kind)
+	fmt.Printf("conclusion: %s\n", d.Conclusion)
+	fmt.Printf("search radius: %d pointer hosts, %d pruned, %d contacted\n",
+		d.PointerHosts, d.PrunedHosts, d.HostsContacted)
+	for _, c := range d.Culprits {
+		fmt.Printf("  culprit: %v prio=%d bytes=%d at switch %d (telemetry from %v)\n",
+			c.Flow, c.Priority, c.Bytes, c.Switch, c.Host)
+	}
+	fmt.Println("timing breakdown:")
+	for _, p := range d.Clock.Phases() {
+		fmt.Printf("  %-18s %v\n", p.Name, p.Duration)
+	}
+	fmt.Printf("  %-18s %v\n", "TOTAL", d.Total())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spctl:", err)
+		os.Exit(1)
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "spctl:", msg)
+	os.Exit(1)
+}

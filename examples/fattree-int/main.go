@@ -1,0 +1,59 @@
+// Fat-tree + INT: SwitchPointer's clean-slate mode (§4.1.3) on a k=4
+// fat-tree. With In-band Network Telemetry every switch appends its exact
+// (switchID, epochID) — no CherryPick key links, no epoch extrapolation —
+// which works on arbitrary topologies and lets α shrink below the commodity
+// rule-update floor. This example traces an inter-pod flow, shows the exact
+// 5-hop trajectory recorded at the destination, and verifies the pointer
+// directory at every layer of the tree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sp "switchpointer"
+)
+
+func main() {
+	tb, err := sp.NewTestbed(sp.FatTree(4), sp.Options{
+		Mode:  sp.ModeINT,
+		Alpha: 5 * sp.Millisecond, // below the 15 ms commodity floor: INT allows it
+		Eps:   sp.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosts := tb.Topo.Hosts()
+	src, dst := hosts[0], hosts[15] // pod 0 → pod 3: a 5-switch path
+
+	flow := sp.FlowKey{Src: src.IP(), Dst: dst.IP(), SrcPort: 4242, DstPort: 80, Proto: 17}
+	sp.StartUDP(tb.Net, src, sp.UDPConfig{
+		Flow: flow, RateBps: 200_000_000, Start: 0, Duration: 20 * sp.Millisecond,
+	})
+	tb.Run(40 * sp.Millisecond)
+
+	// The destination's flow record carries the exact trajectory.
+	rec, ok := tb.HostAgents[dst.IP()].Store.Lookup(flow)
+	if !ok {
+		log.Fatal("no record at destination")
+	}
+	fmt.Printf("flow %v\n", flow)
+	fmt.Printf("trajectory (%d switches, exact INT epochs):\n", len(rec.Path))
+	for i, swID := range rec.Path {
+		node, _ := tb.Net.NodeByID(swID)
+		fmt.Printf("  %d. %-9s epochs %v\n", i+1, node.NodeName(), rec.Epochs[i])
+	}
+
+	// Every switch on the path holds a pointer naming the destination.
+	dir := tb.Analyzer.Dir
+	for _, swID := range rec.Path {
+		ag := tb.SwitchAgents[swID]
+		er, _ := rec.EpochsAt(swID)
+		res := ag.PullPointers(er)
+		node, _ := tb.Net.NodeByID(swID)
+		fmt.Printf("pointer at %-9s: names destination=%v (source=%s, level %d)\n",
+			node.NodeName(), res.Hosts.Get(dir.IndexOf(dst.IP())), res.Source, res.Info.Level)
+	}
+	fmt.Printf("per-packet INT overhead on this path: %d bytes (vs 8 B commodity tags)\n",
+		5*8)
+}

@@ -1,0 +1,216 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/rpc"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/switchagent"
+	"switchpointer/internal/topo"
+)
+
+// Analyzer coordinates switch agents and host agents to debug network
+// events. It can be colocated with an end host or run on a separate
+// controller; here it holds direct references to the simulated agents and a
+// virtual-time cost model standing in for the flask RPC fabric.
+type Analyzer struct {
+	Topo     *topo.Topology
+	Dir      *Directory
+	Switches map[netsim.NodeID]*switchagent.Agent
+	Hosts    map[netsim.IPv4]*hostagent.Agent
+	Cost     rpc.CostModel
+
+	// DisablePruning turns off the §4.3 search-radius reduction (ablation).
+	DisablePruning bool
+	// DetectionLatency is the trigger granularity charged as the
+	// "problem detection" phase (paper: <1 ms; 3–4 ms for microbursts).
+	DetectionLatency simtime.Time
+}
+
+// New assembles an analyzer over the given agents.
+func New(tp *topo.Topology, dir *Directory, sws map[netsim.NodeID]*switchagent.Agent,
+	hosts map[netsim.IPv4]*hostagent.Agent, cost rpc.CostModel) *Analyzer {
+	return &Analyzer{
+		Topo:             tp,
+		Dir:              dir,
+		Switches:         sws,
+		Hosts:            hosts,
+		Cost:             cost,
+		DetectionLatency: simtime.Millisecond,
+	}
+}
+
+// DistributeMPH installs the directory's hash table on every switch (§4.3).
+func (a *Analyzer) DistributeMPH() {
+	for _, sw := range a.Switches {
+		sw.InstallMPH(a.Dir.Table())
+	}
+}
+
+// Culprit is one flow found to have contended with the victim.
+type Culprit struct {
+	Flow     netsim.FlowKey
+	Priority uint8
+	// Bytes the culprit carried during the victim's epoch window (exact at
+	// the culprit's tagging switch).
+	Bytes uint64
+	// Switch where the contention was established.
+	Switch netsim.NodeID
+	// Host whose telemetry store produced the record.
+	Host netsim.IPv4
+	// Overlap is the epoch range shared with the victim at Switch.
+	Overlap simtime.EpochRange
+}
+
+// Kind classifies a diagnosis outcome.
+type Kind string
+
+// Diagnosis kinds.
+const (
+	KindPriorityContention Kind = "priority-contention"
+	KindMicroburst         Kind = "microburst-contention"
+	KindRedLights          Kind = "too-many-red-lights"
+	KindCascade            Kind = "traffic-cascade"
+	KindLoadImbalance      Kind = "load-imbalance"
+	KindInconclusive       Kind = "inconclusive"
+)
+
+// Diagnosis is the analyzer's answer for one alert.
+type Diagnosis struct {
+	Alert hostagent.Alert
+	Kind  Kind
+	// Culprits across all switches, highest impact first.
+	Culprits []Culprit
+	// PerSwitch groups culprits by the switch where they contended with the
+	// victim (the red-lights spatial correlation).
+	PerSwitch map[netsim.NodeID][]Culprit
+
+	// Cascade is the causality chain for traffic-cascade diagnoses: element
+	// i+1 delayed element i; element 0 is the original victim.
+	Cascade []netsim.FlowKey
+
+	// Search-radius accounting.
+	PointerHosts   int // hosts named by the pulled pointers
+	PrunedHosts    int // dropped by topology pruning
+	HostsContacted int
+
+	// Timing breakdown in virtual time (Fig 7): detection, alert,
+	// pointer-retrieval, diagnosis.
+	Clock *rpc.Clock
+
+	Conclusion string
+}
+
+// Total returns the end-to-end debugging time.
+func (d *Diagnosis) Total() simtime.Time { return d.Clock.Total() }
+
+// hostNames returns stable server identifiers for cost accounting.
+func hostNames(ips []netsim.IPv4) []string {
+	out := make([]string, len(ips))
+	for i, ip := range ips {
+		out[i] = ip.String()
+	}
+	return out
+}
+
+// pullCandidates retrieves and decodes pointers for every (switch, epochs)
+// tuple, returning per-switch candidate destination sets.
+func (a *Analyzer) pullCandidates(clock *rpc.Clock, tuples []hostagent.AlertTuple) map[netsim.NodeID][]netsim.IPv4 {
+	out := make(map[netsim.NodeID][]netsim.IPv4, len(tuples))
+	pulled := 0
+	for _, tup := range tuples {
+		ag, ok := a.Switches[tup.Switch]
+		if !ok {
+			continue
+		}
+		res := ag.PullPointers(tup.Epochs)
+		out[tup.Switch] = a.Dir.Decode(res.Hosts)
+		pulled++
+	}
+	clock.PointersPulled(pulled)
+	return out
+}
+
+// pruneForVictim applies the search-radius reduction: a candidate host is
+// relevant at switch sw only if traffic to it can share an egress port (an
+// output queue) with the victim flow there, and it is not the victim's own
+// destination.
+func (a *Analyzer) pruneForVictim(sw netsim.NodeID, victim netsim.FlowKey, cands []netsim.IPv4) (kept, pruned []netsim.IPv4) {
+	node, _ := a.Topo.Net.NodeByID(sw)
+	swNode, ok := node.(*netsim.Switch)
+	if !ok {
+		return cands, nil
+	}
+	victimPorts := portSet(a.Topo.EgressPortsToward(swNode, victim.Dst))
+	for _, ip := range cands {
+		if ip == victim.Dst {
+			continue // the victim's own telemetry, already in hand
+		}
+		if a.DisablePruning {
+			kept = append(kept, ip)
+			continue
+		}
+		shared := false
+		for _, p := range a.Topo.EgressPortsToward(swNode, ip) {
+			if victimPorts[p] {
+				shared = true
+				break
+			}
+		}
+		if shared {
+			kept = append(kept, ip)
+		} else {
+			pruned = append(pruned, ip)
+		}
+	}
+	return kept, pruned
+}
+
+// sharesEgress reports whether traffic to a and traffic to b can leave
+// switch sw through a common output port — the precondition for the two
+// flows to have contended in the same queue there.
+func (a *Analyzer) sharesEgress(sw netsim.NodeID, dstA, dstB netsim.IPv4) bool {
+	node, _ := a.Topo.Net.NodeByID(sw)
+	swNode, ok := node.(*netsim.Switch)
+	if !ok {
+		return false
+	}
+	pa := portSet(a.Topo.EgressPortsToward(swNode, dstA))
+	for _, p := range a.Topo.EgressPortsToward(swNode, dstB) {
+		if pa[p] {
+			return true
+		}
+	}
+	return false
+}
+
+func portSet(ports []int) map[int]bool {
+	m := make(map[int]bool, len(ports))
+	for _, p := range ports {
+		m[p] = true
+	}
+	return m
+}
+
+// dedupIPs merges per-switch candidate lists into one sorted unique list.
+func dedupIPs(lists ...[]netsim.IPv4) []netsim.IPv4 {
+	seen := make(map[netsim.IPv4]bool)
+	var out []netsim.IPv4
+	for _, l := range lists {
+		for _, ip := range l {
+			if !seen[ip] {
+				seen[ip] = true
+				out = append(out, ip)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (a *Analyzer) String() string {
+	return fmt.Sprintf("analyzer(%d switches, %d hosts)", len(a.Switches), len(a.Hosts))
+}

@@ -1,0 +1,127 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/rpc"
+)
+
+// maxCascadeDepth bounds how far back the analyzer chases causality.
+const maxCascadeDepth = 4
+
+// DiagnoseCascade debugs a traffic-cascade suspicion (§5.3): after finding
+// the victim's direct aggressor, it recursively examines the aggressor's own
+// path and epochs — "whether or not the flow was affected by some other
+// flows" — building the causality chain (e.g. C-E was delayed by A-F, which
+// was itself delayed by B-D). This needs both spatial correlation (pointers
+// across switches) and temporal correlation (overlapping epochs), including
+// telemetry of flows that never triggered any alert themselves.
+func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Diagnosis {
+	clock := rpc.NewClock(a.Cost, alert.DetectedAt)
+	clock.Spend("detection", a.DetectionLatency)
+	clock.AlertDelivered()
+
+	chain := []netsim.FlowKey{alert.Flow}
+	visited := map[netsim.FlowKey]bool{alert.Flow: true}
+
+	first := a.contentionRound(clock, alert)
+	agg := first
+	result := &Diagnosis{
+		Alert:          alert,
+		Clock:          clock,
+		PerSwitch:      first.PerSwitch,
+		Culprits:       first.Culprits,
+		PointerHosts:   first.PointerHosts,
+		PrunedHosts:    first.PrunedHosts,
+		HostsContacted: first.HostsContacted,
+	}
+
+	for depth := 0; depth < maxCascadeDepth; depth++ {
+		if len(agg.Culprits) == 0 {
+			break
+		}
+		top := agg.Culprits[0]
+		if visited[top.Flow] {
+			break
+		}
+		visited[top.Flow] = true
+		chain = append(chain, top.Flow)
+
+		// Was the aggressor itself delayed? Examine pointers along ITS path
+		// during ITS epochs. Its telemetry lives at its destination host.
+		synth, ok := a.syntheticAlert(clock, top.Flow)
+		if !ok {
+			break
+		}
+		next := a.contentionRound(clock, synth)
+		// Keep only strictly higher-priority culprits: a flow can only have
+		// been delayed by traffic its queue had to yield to.
+		next.Culprits = filterAbovePriority(next.Culprits, top.Priority)
+		result.PointerHosts += next.PointerHosts
+		result.PrunedHosts += next.PrunedHosts
+		result.HostsContacted += next.HostsContacted
+		for sw, cs := range next.PerSwitch {
+			for _, c := range filterAbovePriority(cs, top.Priority) {
+				result.PerSwitch[sw] = appendCulprit(result.PerSwitch[sw], c)
+				result.Culprits = appendCulprit(result.Culprits, c)
+			}
+		}
+		agg = next
+	}
+
+	result.Cascade = chain
+	sortCulprits(result.Culprits)
+	if len(chain) >= 3 {
+		result.Kind = KindCascade
+		result.Conclusion = fmt.Sprintf("traffic cascade: %s", chainString(chain))
+	} else if len(result.Culprits) > 0 {
+		result.Kind = first.Kind
+		result.Conclusion = first.Conclusion + " (no deeper cascade found)"
+	} else {
+		result.Kind = KindInconclusive
+		result.Conclusion = "no contending flows found"
+	}
+	return result
+}
+
+// syntheticAlert builds the alert-equivalent tuples for a flow from its
+// destination host's record (one extra host contact, charged to the clock).
+func (a *Analyzer) syntheticAlert(clock *rpc.Clock, flow netsim.FlowKey) (hostagent.Alert, bool) {
+	hostAg, ok := a.Hosts[flow.Dst]
+	if !ok {
+		return hostagent.Alert{}, false
+	}
+	rec, ok := hostAg.Store.Lookup(flow)
+	if !ok {
+		return hostagent.Alert{}, false
+	}
+	clock.HostsQueried("diagnosis", []string{flow.Dst.String()}, []int{1})
+	al := hostagent.Alert{Flow: flow, Host: flow.Dst}
+	for i, sw := range rec.Path {
+		al.Tuples = append(al.Tuples, hostagent.AlertTuple{Switch: sw, Epochs: rec.Epochs[i]})
+	}
+	return al, true
+}
+
+func filterAbovePriority(cs []Culprit, prio uint8) []Culprit {
+	var out []Culprit
+	for _, c := range cs {
+		if c.Priority > prio {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func chainString(chain []netsim.FlowKey) string {
+	s := ""
+	for i, f := range chain {
+		if i > 0 {
+			s += " ← delayed by "
+		}
+		s += f.String()
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/rpc"
+	"switchpointer/internal/simtime"
+)
+
+// DiagnoseContention debugs a throughput-drop or timeout alert: the §5.1
+// "too much traffic" procedure, which also covers §5.2 "too many red lights"
+// (the same machinery, with culprits grouped per switch).
+//
+// Steps, each charged to the virtual-time clock:
+//  1. the destination host detected the problem (detection);
+//  2. the alert with <switchID, epochIDs, byte counts> tuples reached the
+//     analyzer (alert);
+//  3. pointers were pulled from the path's switches for the victim's epochs
+//     (pointer retrieval);
+//  4. the hosts named by the pointers — after topology pruning — were
+//     queried for matching headers, and the returned records correlated
+//     with the victim (diagnosis).
+func (a *Analyzer) DiagnoseContention(alert hostagent.Alert) *Diagnosis {
+	clock := rpc.NewClock(a.Cost, alert.DetectedAt)
+	clock.Spend("detection", a.DetectionLatency)
+	clock.AlertDelivered()
+	return a.contentionRound(clock, alert)
+}
+
+// contentionRound performs one pull–prune–query–correlate round on an
+// existing analyzer clock. DiagnoseCascade chains several rounds on one
+// clock to follow causality backwards.
+func (a *Analyzer) contentionRound(clock *rpc.Clock, alert hostagent.Alert) *Diagnosis {
+	d := &Diagnosis{Alert: alert, Clock: clock, PerSwitch: make(map[netsim.NodeID][]Culprit)}
+	if len(alert.Tuples) == 0 {
+		d.Kind = KindInconclusive
+		d.Conclusion = "alert carried no telemetry tuples"
+		return d
+	}
+
+	cands := a.pullCandidates(clock, alert.Tuples)
+
+	// Prune per switch, then merge the survivors into the contact set.
+	perSwitchKept := make(map[netsim.NodeID][]netsim.IPv4, len(cands))
+	var all [][]netsim.IPv4
+	pointerTotal := 0
+	prunedTotal := 0
+	for sw, ips := range cands {
+		pointerTotal += len(ips)
+		kept, pruned := a.pruneForVictim(sw, alert.Flow, ips)
+		perSwitchKept[sw] = kept
+		prunedTotal += len(pruned)
+		all = append(all, kept)
+	}
+	contact := dedupIPs(all...)
+	d.PointerHosts = pointerTotal
+	d.PrunedHosts = prunedTotal
+	d.HostsContacted = len(contact)
+
+	// Query each surviving host for headers matching any (switch, epochs)
+	// tuple of the victim, and correlate.
+	recCounts := make([]int, 0, len(contact))
+	sawHigher := false
+	sawEqual := false
+	for _, ip := range contact {
+		hostAg, ok := a.Hosts[ip]
+		if !ok {
+			recCounts = append(recCounts, 0)
+			continue
+		}
+		scanned := 0
+		for _, tup := range alert.Tuples {
+			recs := hostAg.QueryHeaders(hostagent.HeadersQuery{Switch: tup.Switch, Epochs: tup.Epochs})
+			scanned += len(recs)
+			for _, rec := range recs {
+				if rec.Flow == alert.Flow {
+					continue
+				}
+				er, _ := rec.EpochsAt(tup.Switch)
+				if !er.Overlaps(tup.Epochs) {
+					continue
+				}
+				// Contention requires sharing an output queue at this
+				// switch, not merely co-traversal.
+				if !a.sharesEgress(tup.Switch, alert.Flow.Dst, rec.Flow.Dst) {
+					continue
+				}
+				c := Culprit{
+					Flow:     rec.Flow,
+					Priority: rec.Priority,
+					Bytes:    rec.BytesIn(intersect(er, tup.Epochs)),
+					Switch:   tup.Switch,
+					Host:     ip,
+					Overlap:  intersect(er, tup.Epochs),
+				}
+				if c.Bytes == 0 {
+					c.Bytes = rec.Bytes
+				}
+				d.PerSwitch[tup.Switch] = appendCulprit(d.PerSwitch[tup.Switch], c)
+				d.Culprits = appendCulprit(d.Culprits, c)
+				victimPrio := victimPriority(a, alert)
+				switch {
+				case rec.Priority > victimPrio:
+					sawHigher = true
+				case rec.Priority == victimPrio:
+					sawEqual = true
+				}
+			}
+		}
+		recCounts = append(recCounts, scanned)
+	}
+	clock.HostsQueried("diagnosis", hostNames(contact), recCounts)
+
+	sortCulprits(d.Culprits)
+	for sw := range d.PerSwitch {
+		sortCulprits(d.PerSwitch[sw])
+	}
+
+	// Classify.
+	switchesWithCulprits := 0
+	for _, cs := range d.PerSwitch {
+		if len(cs) > 0 {
+			switchesWithCulprits++
+		}
+	}
+	switch {
+	case len(d.Culprits) == 0:
+		d.Kind = KindInconclusive
+		d.Conclusion = "no contending flows found in the victim's epochs"
+	case switchesWithCulprits > 1:
+		d.Kind = KindRedLights
+		d.Conclusion = fmt.Sprintf(
+			"performance degradation accumulated across %d switches: %d contending flow(s) share epochs with the victim",
+			switchesWithCulprits, len(d.Culprits))
+	case sawHigher:
+		d.Kind = KindPriorityContention
+		d.Conclusion = fmt.Sprintf(
+			"%d higher-priority flow(s) contended with the victim at switch %v during its epochs",
+			len(d.Culprits), firstSwitch(d.PerSwitch))
+	case sawEqual:
+		d.Kind = KindMicroburst
+		d.Conclusion = fmt.Sprintf(
+			"%d equal-priority flow(s) burst into the victim's queue at switch %v (microburst)",
+			len(d.Culprits), firstSwitch(d.PerSwitch))
+	default:
+		d.Kind = KindInconclusive
+		d.Conclusion = "contending flows found, but none at or above the victim's priority"
+	}
+	return d
+}
+
+func victimPriority(a *Analyzer, alert hostagent.Alert) uint8 {
+	if hostAg, ok := a.Hosts[alert.Host]; ok {
+		if prio, known := hostAg.QueryPriority(alert.Flow); known {
+			return prio
+		}
+	}
+	return 0
+}
+
+func intersect(a, b simtime.EpochRange) simtime.EpochRange {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	return simtime.EpochRange{Lo: lo, Hi: hi}
+}
+
+// appendCulprit adds c unless an entry for the same flow at the same switch
+// exists (it keeps the one with more bytes).
+func appendCulprit(list []Culprit, c Culprit) []Culprit {
+	for i := range list {
+		if list[i].Flow == c.Flow && list[i].Switch == c.Switch {
+			if c.Bytes > list[i].Bytes {
+				list[i] = c
+			}
+			return list
+		}
+	}
+	return append(list, c)
+}
+
+func sortCulprits(cs []Culprit) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cs[j-1], cs[j]
+			worse := a.Bytes < b.Bytes ||
+				(a.Bytes == b.Bytes && a.Flow.String() > b.Flow.String())
+			if !worse {
+				break
+			}
+			cs[j-1], cs[j] = b, a
+		}
+	}
+}
+
+func firstSwitch(m map[netsim.NodeID][]Culprit) netsim.NodeID {
+	best := netsim.NodeID(-1)
+	for sw, cs := range m {
+		if len(cs) == 0 {
+			continue
+		}
+		if best == -1 || sw < best {
+			best = sw
+		}
+	}
+	return best
+}

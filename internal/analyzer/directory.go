@@ -1,0 +1,70 @@
+// Package analyzer implements SwitchPointer's analyzer (§4.3): the component
+// that turns a host-raised alert into a diagnosis by pulling pointers from
+// switches, pruning the search radius with topology knowledge, querying the
+// relevant end hosts, and correlating the returned telemetry spatially and
+// temporally.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"switchpointer/internal/bitset"
+	"switchpointer/internal/mph"
+	"switchpointer/internal/netsim"
+)
+
+// Directory owns the cluster-wide minimal perfect hash: the mapping between
+// end-host IPs and pointer-bitmap indices. The analyzer constructs it
+// whenever the end-host population changes permanently and distributes it to
+// every switch (§4.3).
+type Directory struct {
+	table *mph.Table
+	ips   []netsim.IPv4 // index → IP
+}
+
+// BuildDirectory constructs the MPH over the given end-host IPs.
+func BuildDirectory(ips []netsim.IPv4) (*Directory, error) {
+	if len(ips) == 0 {
+		return nil, fmt.Errorf("analyzer: no end hosts")
+	}
+	keys := make([]uint32, len(ips))
+	for i, ip := range ips {
+		keys[i] = uint32(ip)
+	}
+	table, err := mph.Build(keys)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: building MPH: %w", err)
+	}
+	d := &Directory{table: table, ips: make([]netsim.IPv4, len(ips))}
+	for _, ip := range ips {
+		d.ips[table.Lookup(uint32(ip))] = ip
+	}
+	return d, nil
+}
+
+// Table returns the underlying hash table (what gets distributed to
+// switches).
+func (d *Directory) Table() *mph.Table { return d.table }
+
+// Len returns the number of end hosts.
+func (d *Directory) Len() int { return len(d.ips) }
+
+// IndexOf returns the bitmap index of an end host.
+func (d *Directory) IndexOf(ip netsim.IPv4) int { return d.table.Lookup(uint32(ip)) }
+
+// IPAt returns the end host at a bitmap index.
+func (d *Directory) IPAt(idx int) netsim.IPv4 { return d.ips[idx] }
+
+// Decode expands a pointer bitmap into the end-host IPs it names, sorted.
+func (d *Directory) Decode(bits *bitset.Set) []netsim.IPv4 {
+	var out []netsim.IPv4
+	bits.ForEach(func(i int) bool {
+		if i < len(d.ips) {
+			out = append(out, d.ips[i])
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

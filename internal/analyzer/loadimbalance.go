@@ -1,0 +1,122 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/rpc"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/topo"
+)
+
+// LinkDistribution is the flow-size distribution observed on one egress
+// interface (link) of the suspect switch.
+type LinkDistribution struct {
+	Link  topo.LinkID
+	Sizes []uint64 // ascending
+	Flows int
+}
+
+// Min returns the smallest flow size on the link (0 when empty).
+func (l LinkDistribution) Min() uint64 {
+	if len(l.Sizes) == 0 {
+		return 0
+	}
+	return l.Sizes[0]
+}
+
+// Max returns the largest flow size on the link.
+func (l LinkDistribution) Max() uint64 {
+	if len(l.Sizes) == 0 {
+		return 0
+	}
+	return l.Sizes[len(l.Sizes)-1]
+}
+
+// ImbalanceReport is the outcome of a load-imbalance investigation (§5.4).
+type ImbalanceReport struct {
+	Switch netsim.NodeID
+	Links  []LinkDistribution
+	// Separated is true when the per-link distributions split cleanly by
+	// flow size (the malfunction signature: small flows on one interface,
+	// large on the other).
+	Separated bool
+	// Boundary is a size threshold witnessing the separation.
+	Boundary uint64
+
+	HostsContacted int
+	Clock          *rpc.Clock
+	Conclusion     string
+}
+
+// DiagnoseLoadImbalance investigates uneven egress utilization at a switch:
+// it pulls the pointers covering the most recent window, asks the named
+// hosts for a flow-size distribution per egress interface, and tests for a
+// clean separation in flow size between the interfaces (§5.4).
+func (a *Analyzer) DiagnoseLoadImbalance(sw netsim.NodeID, window simtime.EpochRange, at simtime.Time) *ImbalanceReport {
+	clock := rpc.NewClock(a.Cost, at)
+	rep := &ImbalanceReport{Switch: sw, Clock: clock}
+
+	ag, ok := a.Switches[sw]
+	if !ok {
+		rep.Conclusion = "unknown switch"
+		return rep
+	}
+	res := ag.PullPointers(window)
+	clock.PointersPulled(1)
+	hosts := a.Dir.Decode(res.Hosts)
+	rep.HostsContacted = len(hosts)
+
+	byLink := make(map[topo.LinkID][]uint64)
+	recCounts := make([]int, 0, len(hosts))
+	for _, ip := range hosts {
+		hostAg, ok := a.Hosts[ip]
+		if !ok {
+			recCounts = append(recCounts, 0)
+			continue
+		}
+		sizes := hostAg.QueryFlowSizes(sw)
+		recCounts = append(recCounts, len(sizes))
+		for _, fs := range sizes {
+			byLink[fs.Link] = append(byLink[fs.Link], fs.Bytes)
+		}
+	}
+	clock.HostsQueried("diagnosis", hostNames(hosts), recCounts)
+
+	links := make([]topo.LinkID, 0, len(byLink))
+	for l := range byLink {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, l := range links {
+		sizes := byLink[l]
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		rep.Links = append(rep.Links, LinkDistribution{Link: l, Sizes: sizes, Flows: len(sizes)})
+	}
+
+	// Clean-separation test across any pair of links: every flow on one
+	// strictly smaller than every flow on the other.
+	for i := 0; i < len(rep.Links); i++ {
+		for j := 0; j < len(rep.Links); j++ {
+			if i == j || rep.Links[i].Flows == 0 || rep.Links[j].Flows == 0 {
+				continue
+			}
+			if rep.Links[i].Max() < rep.Links[j].Min() {
+				rep.Separated = true
+				rep.Boundary = rep.Links[j].Min()
+			}
+		}
+	}
+	switch {
+	case rep.Separated:
+		rep.Conclusion = fmt.Sprintf(
+			"load imbalance: flow sizes separate cleanly across %d egress interfaces at ≈%d bytes (size-based misrouting)",
+			len(rep.Links), rep.Boundary)
+	case len(rep.Links) > 1:
+		rep.Conclusion = "multiple egress interfaces in use, no size separation — balancing looks hash-based"
+	default:
+		rep.Conclusion = "single egress interface observed; nothing to compare"
+	}
+	return rep
+}

@@ -1,0 +1,91 @@
+package analyzer
+
+import (
+	"sort"
+
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/rpc"
+	"switchpointer/internal/simtime"
+)
+
+// TopKReport is the outcome of a distributed top-k query (§6.2, Fig 12).
+type TopKReport struct {
+	Switch netsim.NodeID
+	Flows  []hostagent.FlowBytes
+	// HostsContacted is the number of servers queried: with SwitchPointer
+	// only those the switch's pointers name; with the PathDump baseline,
+	// every server in the network.
+	HostsContacted int
+	Clock          *rpc.Clock
+}
+
+// TopKMode selects how the query locates telemetry.
+type TopKMode uint8
+
+// Query modes.
+const (
+	// ModeSwitchPointer contacts only the hosts named by the switch's
+	// pointers for the window.
+	ModeSwitchPointer TopKMode = iota
+	// ModePathDump contacts every server (the baseline: "PathDump executes
+	// the query from all the servers in the network").
+	ModePathDump
+)
+
+// TopK runs the "top-k flows at a switch" query over the hosts' telemetry.
+func (a *Analyzer) TopK(sw netsim.NodeID, k int, window simtime.EpochRange, mode TopKMode, at simtime.Time) *TopKReport {
+	clock := rpc.NewClock(a.Cost, at)
+	rep := &TopKReport{Switch: sw, Clock: clock}
+
+	var hosts []netsim.IPv4
+	switch mode {
+	case ModePathDump:
+		for _, h := range a.Topo.Hosts() {
+			hosts = append(hosts, h.IP())
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	default:
+		ag, ok := a.Switches[sw]
+		if !ok {
+			return rep
+		}
+		res := ag.PullPointers(window)
+		clock.PointersPulled(1)
+		hosts = a.Dir.Decode(res.Hosts)
+	}
+	rep.HostsContacted = len(hosts)
+
+	merged := make(map[netsim.FlowKey]uint64)
+	recCounts := make([]int, 0, len(hosts))
+	for _, ip := range hosts {
+		hostAg, ok := a.Hosts[ip]
+		if !ok {
+			recCounts = append(recCounts, 0)
+			continue
+		}
+		top := hostAg.QueryTopK(sw, k)
+		recCounts = append(recCounts, len(top))
+		for _, fb := range top {
+			if fb.Bytes > merged[fb.Flow] {
+				merged[fb.Flow] = fb.Bytes
+			}
+		}
+	}
+	clock.HostsQueried("query-execution", hostNames(hosts), recCounts)
+
+	rep.Flows = make([]hostagent.FlowBytes, 0, len(merged))
+	for f, b := range merged {
+		rep.Flows = append(rep.Flows, hostagent.FlowBytes{Flow: f, Bytes: b})
+	}
+	sort.Slice(rep.Flows, func(i, j int) bool {
+		if rep.Flows[i].Bytes != rep.Flows[j].Bytes {
+			return rep.Flows[i].Bytes > rep.Flows[j].Bytes
+		}
+		return rep.Flows[i].Flow.String() < rep.Flows[j].Flow.String()
+	})
+	if k > 0 && len(rep.Flows) > k {
+		rep.Flows = rep.Flows[:k]
+	}
+	return rep
+}

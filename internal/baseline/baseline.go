@@ -1,0 +1,149 @@
+// Package baseline implements the in-network monitoring techniques the paper
+// compares against in §2 — packet sampling (sFlow/NetFlow-style), per-port
+// counter polling, and queue-occupancy trigger predicates — so their failure
+// modes (undersampling microbursts, indistinguishable contention kinds,
+// predicates that never fire on red-lights) can be demonstrated on the same
+// simulated testbeds SwitchPointer runs on.
+package baseline
+
+import (
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+)
+
+// SampleRecord is one sampled packet header.
+type SampleRecord struct {
+	Flow     netsim.FlowKey
+	Priority uint8
+	Size     int
+	At       simtime.Time
+}
+
+// PacketSampler samples 1-in-N forwarded packets at a switch, the classic
+// sampled-NetFlow/sFlow design. §2.1: "packet sampling based techniques
+// would miss microbursts due to undersampling".
+type PacketSampler struct {
+	N       int // sampling ratio (1-in-N)
+	count   uint64
+	Samples []SampleRecord
+}
+
+// NewPacketSampler returns a sampler with ratio 1-in-N.
+func NewPacketSampler(n int) *PacketSampler {
+	if n < 1 {
+		panic("baseline: sampling ratio must be ≥ 1")
+	}
+	return &PacketSampler{N: n}
+}
+
+// Stage returns the pipeline hook to install on a switch.
+func (s *PacketSampler) Stage() netsim.PipelineFunc {
+	return func(sw *netsim.Switch, p *netsim.Packet, in, out *netsim.Port, now simtime.Time) {
+		s.count++
+		if s.count%uint64(s.N) == 0 {
+			s.Samples = append(s.Samples, SampleRecord{
+				Flow: p.Flow, Priority: p.Priority, Size: p.Size, At: now,
+			})
+		}
+	}
+}
+
+// Seen reports how many samples matched the flow.
+func (s *PacketSampler) Seen(flow netsim.FlowKey) int {
+	n := 0
+	for _, r := range s.Samples {
+		if r.Flow == flow {
+			n++
+		}
+	}
+	return n
+}
+
+// SeenIn reports how many samples landed inside the window.
+func (s *PacketSampler) SeenIn(from, to simtime.Time) int {
+	n := 0
+	for _, r := range s.Samples {
+		if r.At >= from && r.At < to {
+			n++
+		}
+	}
+	return n
+}
+
+// CounterPoller polls a port's transmit byte counter on a fixed period —
+// the SNMP/sFlow counter pipeline. §2.1: "switch counter based techniques
+// would not be able to differentiate between the priority-based and
+// microburst-based flow contention".
+type CounterPoller struct {
+	port     *netsim.Port
+	interval simtime.Time
+	last     uint64
+	// DeltaBytes[i] is the byte count of polling interval i.
+	DeltaBytes []uint64
+}
+
+// AttachCounterPoller starts polling the port every interval.
+func AttachCounterPoller(net *netsim.Network, port *netsim.Port, interval simtime.Time) *CounterPoller {
+	c := &CounterPoller{port: port, interval: interval}
+	net.Engine.EveryWeak(interval, func() {
+		cur := port.TxBytes
+		c.DeltaBytes = append(c.DeltaBytes, cur-c.last)
+		c.last = cur
+	})
+	return c
+}
+
+// UtilizationSeries converts the deltas into per-interval link utilization.
+func (c *CounterPoller) UtilizationSeries() []float64 {
+	cap := float64(c.port.RateBps()) * c.interval.Seconds() / 8
+	out := make([]float64, len(c.DeltaBytes))
+	for i, d := range c.DeltaBytes {
+		out[i] = float64(d) / cap
+	}
+	return out
+}
+
+// MaxUtilization returns the peak per-interval utilization.
+func (c *CounterPoller) MaxUtilization() float64 {
+	var max float64
+	for _, u := range c.UtilizationSeries() {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// QueueProbe samples a port's queue occupancy on a fixed period and converts
+// it to queueing delay. It implements the §2.2 in-network trigger predicate
+// ("queuing delay is larger than 1 ms") so tests can show it never fires on
+// the red-lights workload even though the victim's end-to-end throughput
+// halves.
+type QueueProbe struct {
+	port     *netsim.Port
+	interval simtime.Time
+	// MaxBytes is the largest queue depth observed.
+	MaxBytes int
+}
+
+// AttachQueueProbe starts sampling the port queue every interval.
+func AttachQueueProbe(net *netsim.Network, port *netsim.Port, interval simtime.Time) *QueueProbe {
+	q := &QueueProbe{port: port, interval: interval}
+	net.Engine.EveryWeak(interval, func() {
+		if b := port.QueueBytes(); b > q.MaxBytes {
+			q.MaxBytes = b
+		}
+	})
+	return q
+}
+
+// MaxDelay converts the peak occupancy into queueing delay at line rate.
+func (q *QueueProbe) MaxDelay() simtime.Time {
+	return simtime.Time(int64(q.MaxBytes) * 8 * int64(simtime.Second) / q.port.RateBps())
+}
+
+// PredicateFired reports whether the classic in-network trigger (queueing
+// delay above the threshold) would have collected telemetry.
+func (q *QueueProbe) PredicateFired(threshold simtime.Time) bool {
+	return q.MaxDelay() > threshold
+}

@@ -1,0 +1,217 @@
+// Package eventq implements the discrete-event engine that drives the
+// SwitchPointer testbed simulation.
+//
+// The engine is single-threaded and deterministic: events scheduled for the
+// same virtual time fire in the order they were scheduled (FIFO tie-break via
+// a monotonically increasing sequence number). All network, transport, agent
+// and analyzer activity in the simulated testbed is expressed as events on a
+// single Engine, so an entire experiment is a pure function of its inputs.
+package eventq
+
+import (
+	"container/heap"
+
+	"switchpointer/internal/simtime"
+)
+
+// Func is the body of a scheduled event. It runs at the event's virtual time.
+type Func func()
+
+type event struct {
+	at   simtime.Time
+	seq  uint64
+	fn   Func
+	dead bool // cancelled
+	weak bool // does not keep Run() alive
+	idx  int  // heap index, -1 when popped
+	eng  *Engine
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx == -1 {
+		return false
+	}
+	t.ev.dead = true
+	if !t.ev.weak && t.ev.eng != nil {
+		t.ev.eng.strong--
+	}
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler over virtual time.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now       simtime.Time
+	seq       uint64
+	heap      eventHeap
+	processed uint64
+	strong    int // pending non-weak events
+}
+
+// New returns an empty engine positioned at virtual time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time. During an event callback this is the
+// event's scheduled time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still scheduled (including cancelled
+// events not yet reaped).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: that is always a logic error in a discrete simulation.
+func (e *Engine) At(t simtime.Time, fn Func) *Timer {
+	return e.schedule(t, fn, false)
+}
+
+// AtWeak schedules a weak event: it runs like any other when the clock
+// reaches it, but pending weak events alone do not keep Run going. Use for
+// open-ended maintenance work (epoch rotation, pollers) that should not
+// make a finite workload run forever.
+func (e *Engine) AtWeak(t simtime.Time, fn Func) *Timer {
+	return e.schedule(t, fn, true)
+}
+
+func (e *Engine) schedule(t simtime.Time, fn Func, weak bool) *Timer {
+	if t < e.now {
+		panic("eventq: scheduling event in the past")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn, weak: weak, eng: e}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	if !weak {
+		e.strong++
+	}
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds after the current virtual time.
+func (e *Engine) After(d simtime.Time, fn Func) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run repeatedly with the given period, starting at
+// Now+period. The returned Timer cancels the *next* occurrence when stopped;
+// stopping it permanently ends the series.
+func (e *Engine) Every(period simtime.Time, fn Func) *Timer {
+	return e.every(period, fn, false)
+}
+
+// EveryWeak is Every with weak events: the series runs whenever other work
+// advances the clock past its ticks, but does not by itself keep Run alive.
+func (e *Engine) EveryWeak(period simtime.Time, fn Func) *Timer {
+	return e.every(period, fn, true)
+}
+
+func (e *Engine) every(period simtime.Time, fn Func, weak bool) *Timer {
+	if period <= 0 {
+		panic("eventq: non-positive period")
+	}
+	t := &Timer{}
+	var tick Func
+	tick = func() {
+		fn()
+		t.ev = e.schedule(e.now+period, tick, weak).ev
+	}
+	t.ev = e.schedule(e.now+period, tick, weak).ev
+	return t
+}
+
+// Step runs the single earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.dead {
+			continue
+		}
+		if !ev.weak {
+			e.strong--
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until no non-weak work remains. Weak maintenance
+// timers (epoch rotation, pollers) do not keep the run alive; they fire only
+// while driven by remaining real work.
+func (e *Engine) Run() {
+	for e.strong > 0 && e.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time ≤ t, then advances the clock
+// to exactly t. Events scheduled later remain pending.
+func (e *Engine) RunUntil(t simtime.Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d nanoseconds of virtual time from Now.
+func (e *Engine) RunFor(d simtime.Time) { e.RunUntil(e.now + d) }
+
+func (e *Engine) peek() *event {
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&e.heap)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"switchpointer/internal/scenario"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/transport"
+)
+
+// burstSweep is the paper's m values: UDP flows per burst batch.
+var burstSweep = []int{1, 2, 4, 8, 16}
+
+// fig2Run executes the §2.1 workload for one m and returns the victim's
+// receiver meter.
+func fig2Run(m int, microburst bool) (*transport.Meter, error) {
+	s, err := scenario.NewTooMuchTraffic(scenario.TooMuchTrafficConfig{M: m, Microburst: microburst})
+	if err != nil {
+		return nil, err
+	}
+	s.Testbed.Run(110 * simtime.Millisecond)
+	return s.VictimMeter, nil
+}
+
+func fig2Result(id, title string, microburst bool) (*Result, error) {
+	r := &Result{ID: id, Title: title}
+	meters := make(map[int]*transport.Meter, len(burstSweep))
+	for _, m := range burstSweep {
+		meter, err := fig2Run(m, microburst)
+		if err != nil {
+			return nil, err
+		}
+		meters[m] = meter
+	}
+
+	const buckets = 100
+	cols := []string{"t(ms)"}
+	for _, m := range burstSweep {
+		cols = append(cols, fmt.Sprintf("m=%d", m))
+	}
+	thr := Table{Title: "throughput of the low-priority TCP flow (Gbps)", Cols: cols}
+	gap := Table{Title: "max inter-packet arrival time (ms)", Cols: cols}
+	for t := 0; t < buckets; t += 2 {
+		trow := []string{fmt.Sprintf("%d", t)}
+		grow := []string{fmt.Sprintf("%d", t)}
+		for _, m := range burstSweep {
+			trow = append(trow, f(meters[m].GbpsAt(t)))
+			grow = append(grow, ms(meters[m].MaxGapAt(t).Milliseconds()))
+		}
+		thr.Rows = append(thr.Rows, trow)
+		gap.Rows = append(gap.Rows, grow)
+	}
+	r.AddTable(thr)
+	r.AddTable(gap)
+
+	summary := Table{
+		Title: "per-m summary",
+		Cols:  []string{"m", "min Gbps in burst window", "max gap (ms)", "delivered (MB)"},
+	}
+	for _, m := range burstSweep {
+		minDuring := 10.0
+		for t := 20; t < 100; t++ {
+			if g := meters[m].GbpsAt(t); g < minDuring {
+				minDuring = g
+			}
+		}
+		summary.Rows = append(summary.Rows, []string{
+			fmt.Sprintf("%d", m),
+			f(minDuring),
+			ms(meters[m].MaxGap().Milliseconds()),
+			f(float64(meters[m].TotalBytes()) / (1 << 20)),
+		})
+	}
+	r.AddTable(summary)
+	r.AddNote("five 1 ms UDP burst batches at t=20,35,50,65,80 ms; victim: 100 ms TCP flow over a 1G dumbbell")
+	return r, nil
+}
+
+// Fig2a regenerates Figure 2(a): priority-based flow contention.
+func Fig2a() (*Result, error) {
+	return fig2Result("fig2a", "too much traffic — priority-based contention (Fig 2a)", false)
+}
+
+// Fig2b regenerates Figure 2(b): microburst-based flow contention (FIFO).
+func Fig2b() (*Result, error) {
+	return fig2Result("fig2b", "too much traffic — microburst contention, FIFO (Fig 2b)", true)
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"switchpointer/internal/scenario"
+	"switchpointer/internal/simtime"
+)
+
+// Fig3 regenerates Figure 3: the victim flow A→F's throughput observed at
+// switches S1 and S2 while crossing two sequential 400 µs red lights.
+func Fig3() (*Result, error) {
+	s, err := scenario.NewRedLights(scenario.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.Testbed.Run(30 * simtime.Millisecond)
+
+	r := &Result{ID: "fig3", Title: "too many red lights — victim throughput at S1 and S2 (Fig 3)"}
+	m1 := s.MeterAtS1.Meter(s.Victim)
+	m2 := s.MeterAtS2.Meter(s.Victim)
+	tab := Table{
+		Title: "flow A-F throughput (Gbps), 0.5 ms buckets",
+		Cols:  []string{"t(ms)", "at S1", "at S2", "at F"},
+	}
+	for b := 0; b < 20; b++ {
+		t := float64(b) * 0.5
+		atF := s.MeterAtF.GbpsAt(b / 2)
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%.1f", t),
+			f(metGbps(m1, b)),
+			f(metGbps(m2, b)),
+			f(atF),
+		})
+	}
+	r.AddTable(tab)
+	r.AddNote("red lights: B→D at 5.0 ms (S1), C→E at 5.4 ms (S2), 400 µs each, high priority")
+	r.AddNote("TCP timeouts on victim: %d", s.Sender.Timeouts)
+	return r, nil
+}
+
+type gbpser interface{ GbpsAt(i int) float64 }
+
+func metGbps(m gbpser, i int) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.GbpsAt(i)
+}
+
+// Fig4 regenerates Figure 4: per-flow throughput timelines without (a) and
+// with (b) the traffic cascade.
+func Fig4() (*Result, error) {
+	r := &Result{ID: "fig4", Title: "traffic cascades — flow timelines (Fig 4)"}
+	for _, induce := range []bool{false, true} {
+		s, err := scenario.NewCascades(induce, scenario.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.Testbed.Run(200 * simtime.Millisecond)
+		label := "(a) without cascade"
+		if induce {
+			label = "(b) with cascade"
+		}
+		tab := Table{
+			Title: label + " — throughput (Gbps)",
+			Cols:  []string{"t(ms)", "B-D (high)", "A-F (mid)", "C-E (low)"},
+		}
+		for t := 0; t < 50; t += 2 {
+			tab.Rows = append(tab.Rows, []string{
+				fmt.Sprintf("%d", t),
+				f(s.MeterBD.GbpsAt(t)),
+				f(s.MeterAF.GbpsAt(t)),
+				f(s.MeterCE.GbpsAt(t)),
+			})
+		}
+		r.AddTable(tab)
+		r.AddNote("%s: C-E (2 MB TCP) completed at %v", label, s.SenderCE.CompletedAt)
+	}
+	return r, nil
+}

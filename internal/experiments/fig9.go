@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"switchpointer/internal/mph"
+	"switchpointer/internal/pointer"
+	"switchpointer/internal/simtime"
+)
+
+// DatapathBench measures the real per-packet cost of the SwitchPointer
+// datapath (Fig 9). The paper benchmarks OVS-DPDK on one 3.1 GHz core with
+// 100 K distinct destination IPs; here the same per-packet pipeline runs as
+// plain Go:
+//
+//	baseline ("vanilla OVS"): parse the L2/L3 header from the frame bytes,
+//	    validate the IP checksum, and look up the output port — plus a
+//	    calibrated per-packet touch pass standing in for DPDK's rx/tx and
+//	    memory costs (documented substitution; the paper's softswitch peaks
+//	    at ≈7 Mpps and that base cost is not Go's to reproduce).
+//	SwitchPointer (k): baseline + ONE minimal-perfect-hash lookup + k
+//	    parallel pointer-bit writes + the tag push.
+//
+// Throughput at packet size p is min(measured pps × p × 8, line rate): the
+// paper's claim — line rate at ≥256 B, degradation below — is a property of
+// the measured per-packet cost, which is executed for real here.
+type DatapathBench struct {
+	table  *mph.Table
+	ptrs   map[int]*pointer.Structure // k → structure
+	routes map[uint32]int32
+	frames [][]byte
+	dsts   []uint32
+	sink   uint64
+}
+
+const (
+	benchHosts  = 100_000
+	frameStride = 4096
+	dstOffset   = 30 // IPv4 dst within a classic Ethernet+IP header
+)
+
+// NewDatapathBench builds the 100 K-destination benchmark state.
+func NewDatapathBench() (*DatapathBench, error) {
+	d := &DatapathBench{
+		ptrs:   make(map[int]*pointer.Structure),
+		routes: make(map[uint32]int32, benchHosts),
+	}
+	dsts := make([]uint32, benchHosts)
+	base := uint32(10 << 24)
+	for i := range dsts {
+		dsts[i] = base + uint32(i)
+	}
+	table, err := mph.Build(dsts)
+	if err != nil {
+		return nil, err
+	}
+	d.table = table
+	d.dsts = dsts
+	for i, ip := range dsts {
+		d.routes[ip] = int32(i % 48) // 48-port switch
+	}
+	for _, k := range []int{1, 5} {
+		ptr, err := pointer.New(pointer.Config{
+			Alpha: 10 * simtime.Millisecond, K: k, NumHosts: benchHosts}, nil)
+		if err != nil {
+			return nil, err
+		}
+		ptr.Advance(0)
+		d.ptrs[k] = ptr
+	}
+	// Pre-build frames cycling through destinations.
+	d.frames = make([][]byte, frameStride)
+	for i := range d.frames {
+		fr := make([]byte, 128)
+		binary.BigEndian.PutUint32(fr[dstOffset:], dsts[(i*2654435761)%benchHosts])
+		d.frames[i] = fr
+	}
+	return d, nil
+}
+
+// StepBaseline processes one packet through the vanilla pipeline.
+func (d *DatapathBench) StepBaseline(i int) {
+	fr := d.frames[i&(frameStride-1)]
+	dst := binary.BigEndian.Uint32(fr[dstOffset:])
+	// IP header checksum validation (10 16-bit words).
+	var sum uint32
+	for off := 14; off < 34; off += 2 {
+		sum += uint32(binary.BigEndian.Uint16(fr[off:]))
+	}
+	// Calibrated softswitch base cost: touch the first 96 bytes the way a
+	// DPDK rx/tx path and OVS flow-key extraction would.
+	var mix uint64
+	for off := 0; off < 96; off += 8 {
+		mix = mix*1099511628211 ^ binary.LittleEndian.Uint64(fr[off:])
+	}
+	port := d.routes[dst]
+	d.sink += uint64(sum) + uint64(port) + mix&1
+}
+
+// StepSwitchPointer processes one packet through baseline + SwitchPointer
+// with the k-level pointer structure.
+func (d *DatapathBench) StepSwitchPointer(i, k int) {
+	d.StepBaseline(i)
+	fr := d.frames[i&(frameStride-1)]
+	dst := binary.BigEndian.Uint32(fr[dstOffset:])
+	idx := d.table.Lookup(dst) // ONE hash op
+	d.ptrs[k].Touch(idx)       // k parallel bit writes
+	// Tag push: write the 8 bytes of linkID+epochID VLAN tags.
+	binary.LittleEndian.PutUint64(fr[120:], uint64(idx))
+}
+
+// Sink defeats dead-code elimination.
+func (d *DatapathBench) Sink() uint64 { return d.sink }
+
+// measure times fn over enough iterations for a stable ns/packet estimate.
+func measure(fn func(i int)) (nsPerPkt float64) {
+	const warm = 200_000
+	for i := 0; i < warm; i++ {
+		fn(i)
+	}
+	iters := 2_000_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// fig9Sizes is the packet-size sweep (the paper shows 64, 128, ≥256).
+var fig9Sizes = []int{64, 128, 256, 512, 1024, 1500}
+
+// lineRateGbps is the modelled NIC rate of the Fig 9 testbed.
+const lineRateGbps = 10.0
+
+// gbpsAt converts a per-packet cost into achievable throughput at size p,
+// capped at line rate.
+func gbpsAt(nsPerPkt float64, p int) float64 {
+	pps := 1e9 / nsPerPkt
+	gbps := pps * float64(p) * 8 / 1e9
+	if gbps > lineRateGbps {
+		return lineRateGbps
+	}
+	return gbps
+}
+
+// Fig9 regenerates Figure 9: datapath throughput vs packet size for the
+// vanilla baseline and SwitchPointer with k=1 and k=5.
+func Fig9() (*Result, error) {
+	d, err := NewDatapathBench()
+	if err != nil {
+		return nil, err
+	}
+	base := measure(d.StepBaseline)
+	k1 := measure(func(i int) { d.StepSwitchPointer(i, 1) })
+	k5 := measure(func(i int) { d.StepSwitchPointer(i, 5) })
+
+	r := &Result{ID: "fig9", Title: "datapath throughput vs packet size (Fig 9)"}
+	tab := Table{
+		Title: "throughput (Gbps), 10GE line rate, 100K destinations, one core",
+		Cols:  []string{"pkt size (B)", "OVS baseline", "SwitchPointer k=1", "SwitchPointer k=5"},
+	}
+	for _, p := range fig9Sizes {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", p),
+			f(gbpsAt(base, p)),
+			f(gbpsAt(k1, p)),
+			f(gbpsAt(k5, p)),
+		})
+	}
+	r.AddTable(tab)
+	r.AddNote("measured per-packet cost: baseline %.1f ns, k=1 %.1f ns, k=5 %.1f ns (%.2f/%.2f/%.2f Mpps)",
+		base, k1, k5, 1e3/base, 1e3/k1, 1e3/k5)
+	r.AddNote("paper: line rate at ≥256 B; ≈22%% below baseline at 128 B; k=1 vs k=5 nearly identical (one hash op regardless of k)")
+	if s := d.Sink(); s == 42 {
+		r.AddNote("sink %d", s)
+	}
+	return r, nil
+}

@@ -1,0 +1,165 @@
+// Package flowrec defines the per-flow telemetry records end hosts maintain.
+//
+// This is the PathDump-extended record of §6: one record per received flow
+// holding the usual 5-tuple, the switch-level path, a series of epoch ranges
+// corresponding to each switch, byte/packet counts (including per-epoch byte
+// counts at the tagging switch), and the flow's DSCP priority. Records are
+// what the analyzer's distributed queries run against.
+package flowrec
+
+import (
+	"fmt"
+	"sort"
+
+	"switchpointer/internal/header"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/topo"
+)
+
+// Record is one flow's telemetry at its destination host.
+type Record struct {
+	Flow     netsim.FlowKey
+	Priority uint8
+
+	// Path is the switch trajectory; Epochs[i] is the (unioned) epoch range
+	// observed at Path[i] across all packets of the flow.
+	Path   []netsim.NodeID
+	Epochs []simtime.EpochRange
+	// TagIdx is the index of the switch whose epochs are exact; −1 when the
+	// flow's packets carried no epoch tag.
+	TagIdx int
+
+	// TagLink is the CherryPick link the flow's packets were stamped with
+	// (0 when untagged). For parallel-link topologies this identifies the
+	// egress interface the flow used — the load-imbalance signal of §5.4.
+	TagLink topo.LinkID
+
+	Bytes uint64
+	Pkts  uint64
+	// EpochBytes counts bytes per exact epoch of the tagging switch (or of
+	// the host-estimated epoch for untagged flows). These are the
+	// "byte counts per epoch" carried in alerts (§5.1).
+	EpochBytes map[simtime.Epoch]uint64
+
+	FirstSeen simtime.Time
+	LastSeen  simtime.Time
+}
+
+// New creates an empty record for a flow.
+func New(flow netsim.FlowKey) *Record {
+	return &Record{Flow: flow, TagIdx: -1, EpochBytes: make(map[simtime.Epoch]uint64)}
+}
+
+// Absorb merges one received packet's decoded telemetry into the record.
+func (r *Record) Absorb(p *netsim.Packet, dec header.Decoded, now simtime.Time) {
+	if r.Pkts == 0 {
+		r.FirstSeen = now
+		r.Path = append([]netsim.NodeID(nil), dec.Path...)
+		r.Epochs = append([]simtime.EpochRange(nil), dec.Epochs...)
+		r.TagIdx = dec.TagIdx
+	} else if pathsEqual(r.Path, dec.Path) {
+		for i := range r.Epochs {
+			r.Epochs[i] = r.Epochs[i].Union(dec.Epochs[i])
+		}
+	} else {
+		// Path changed mid-flow (rerouting). Keep the latest path but widen
+		// nothing: restart the epoch series for the new trajectory.
+		r.Path = append(r.Path[:0], dec.Path...)
+		r.Epochs = append(r.Epochs[:0], dec.Epochs...)
+		r.TagIdx = dec.TagIdx
+	}
+	r.LastSeen = now
+	r.Priority = p.Priority
+	r.Bytes += uint64(p.Size)
+	r.Pkts++
+	if tag, ok := p.TagOf(netsim.TagLink); ok {
+		r.TagLink = topo.LinkID(tag.Value)
+	}
+	// Exact epoch accounting: at the tagging switch in commodity mode, at
+	// the first hop in INT mode, or the host-estimate midpoint when untagged.
+	r.EpochBytes[exactEpoch(dec)] += uint64(p.Size)
+}
+
+func exactEpoch(dec header.Decoded) simtime.Epoch {
+	switch {
+	case dec.TagIdx >= 0 && dec.TagIdx < len(dec.Epochs):
+		return dec.Epochs[dec.TagIdx].Lo
+	case dec.Mode == header.ModeINT && len(dec.Epochs) > 0:
+		return dec.Epochs[0].Lo
+	case len(dec.Epochs) > 0:
+		mid := (dec.Epochs[0].Lo + dec.Epochs[0].Hi) / 2
+		return mid
+	default:
+		return 0
+	}
+}
+
+func pathsEqual(a, b []netsim.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EpochsAt returns the epoch range the flow was seen at switch sw, if the
+// switch is on the recorded path.
+func (r *Record) EpochsAt(sw netsim.NodeID) (simtime.EpochRange, bool) {
+	for i, id := range r.Path {
+		if id == sw {
+			return r.Epochs[i], true
+		}
+	}
+	return simtime.EpochRange{}, false
+}
+
+// Traverses reports whether the flow's path visits switch sw.
+func (r *Record) Traverses(sw netsim.NodeID) bool {
+	_, ok := r.EpochsAt(sw)
+	return ok
+}
+
+// BytesIn returns the bytes the flow carried during epochs overlapping er
+// (by the record's exact-epoch accounting).
+func (r *Record) BytesIn(er simtime.EpochRange) uint64 {
+	var total uint64
+	for e, b := range r.EpochBytes {
+		if er.Contains(e) {
+			total += b
+		}
+	}
+	return total
+}
+
+// SortedEpochs returns the exact epochs with traffic, ascending.
+func (r *Record) SortedEpochs() []simtime.Epoch {
+	out := make([]simtime.Epoch, 0, len(r.EpochBytes))
+	for e := range r.EpochBytes {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy (used when shipping records across the RPC
+// boundary so callers can't mutate host state).
+func (r *Record) Clone() *Record {
+	c := *r
+	c.Path = append([]netsim.NodeID(nil), r.Path...)
+	c.Epochs = append([]simtime.EpochRange(nil), r.Epochs...)
+	c.EpochBytes = make(map[simtime.Epoch]uint64, len(r.EpochBytes))
+	for k, v := range r.EpochBytes {
+		c.EpochBytes[k] = v
+	}
+	return &c
+}
+
+// String summarises the record.
+func (r *Record) String() string {
+	return fmt.Sprintf("%v prio=%d path=%v bytes=%d pkts=%d", r.Flow, r.Priority, r.Path, r.Bytes, r.Pkts)
+}

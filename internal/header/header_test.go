@@ -1,0 +1,354 @@
+package header
+
+import (
+	"testing"
+
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/topo"
+)
+
+func params10() Params {
+	// The paper's running example: α = 10 ms, ε = α, Δ = 2α.
+	return Params{
+		Alpha: 10 * simtime.Millisecond,
+		Eps:   10 * simtime.Millisecond,
+		Delta: 20 * simtime.Millisecond,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := params10().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{Alpha: 0}).Validate(); err == nil {
+		t.Fatalf("zero alpha accepted")
+	}
+	if err := (Params{Alpha: 1, Eps: -1}).Validate(); err == nil {
+		t.Fatalf("negative eps accepted")
+	}
+}
+
+func TestExtrapolatePaperExample(t *testing.T) {
+	// Figure 6 example: 5-switch path S1..S5, epoch ei tagged at S3 (tag
+	// index 2), α=10, ε=α, Δ=2α ⇒ S2 gets [ei−3, ei+1], S4 gets [ei−1, ei+3].
+	ei := simtime.Epoch(100)
+	ranges := ExtrapolateEpochs(5, 2, ei, params10())
+	want := []simtime.EpochRange{
+		{Lo: 95, Hi: 101},  // S1: j=2 upstream, (ε+2Δ)/α = 5
+		{Lo: 97, Hi: 101},  // S2: j=1 upstream, (ε+Δ)/α = 3
+		{Lo: 100, Hi: 100}, // S3: tagging switch
+		{Lo: 99, Hi: 103},  // S4: j=1 downstream
+		{Lo: 99, Hi: 105},  // S5: j=2 downstream
+	}
+	for i, w := range want {
+		if ranges[i] != w {
+			t.Errorf("switch %d: got %v, want %v", i+1, ranges[i], w)
+		}
+	}
+}
+
+func TestExtrapolateCeilings(t *testing.T) {
+	// ε = 5 ms with α = 10 ms must round up to 1 epoch of drift slack.
+	p := Params{Alpha: 10 * simtime.Millisecond, Eps: 5 * simtime.Millisecond, Delta: 12 * simtime.Millisecond}
+	r := ExtrapolateEpochs(2, 1, 50, p)
+	// Upstream j=1: (5+12)/10 → ceil = 2.
+	if r[0].Lo != 48 || r[0].Hi != 51 {
+		t.Fatalf("upstream = %v", r[0])
+	}
+	if r[1].Lo != 50 || r[1].Hi != 50 {
+		t.Fatalf("tag switch = %v", r[1])
+	}
+}
+
+func TestExtrapolateZeroSlack(t *testing.T) {
+	p := Params{Alpha: 10 * simtime.Millisecond}
+	r := ExtrapolateEpochs(3, 1, 7, p)
+	for i, rr := range r {
+		if rr.Lo != 7 || rr.Hi != 7 {
+			t.Fatalf("switch %d with ε=Δ=0 should be exact: %v", i, rr)
+		}
+	}
+}
+
+func buildChain(t *testing.T) (*netsim.Network, *topo.Topology) {
+	t.Helper()
+	net := netsim.New()
+	tp := topo.Chain(net, []int{2, 2, 2}, topo.Config{})
+	return net, tp
+}
+
+func installEmbedder(tp *topo.Topology, e *Embedder) {
+	for _, sw := range tp.Switches() {
+		sw.Pipeline = append(sw.Pipeline, e.Stage())
+	}
+}
+
+func TestCommodityEmbedDecodeEndToEnd(t *testing.T) {
+	net, tp := buildChain(t)
+	e := &Embedder{Topo: tp, Mode: ModeCommodity, Params: params10()}
+	installEmbedder(tp, e)
+
+	a, _ := tp.HostByName("h1-1")
+	f, _ := tp.HostByName("h3-2")
+	dec := &Decoder{Topo: tp, Mode: ModeCommodity, Params: params10()}
+
+	var got Decoded
+	var decErr error
+	f.OnReceive(func(p *netsim.Packet, now simtime.Time) {
+		got, decErr = dec.Decode(p, now, f.Clock)
+	})
+	// Send at 55 ms so the switches are mid-epoch 5.
+	net.Engine.At(55*simtime.Millisecond, func() {
+		a.Send(&netsim.Packet{ID: 1, Size: 1000, Flow: netsim.FlowKey{
+			Src: a.IP(), Dst: f.IP(), SrcPort: 1, DstPort: 2, Proto: netsim.ProtoTCP}})
+	})
+	net.Run()
+
+	if decErr != nil {
+		t.Fatal(decErr)
+	}
+	if len(got.Path) != 3 {
+		t.Fatalf("path = %v", got.Path)
+	}
+	if got.TagIdx != 0 {
+		t.Fatalf("TagIdx = %d, want 0 (first switch tags in a chain)", got.TagIdx)
+	}
+	if e.TagsPushed != 1 {
+		t.Fatalf("TagsPushed = %d", e.TagsPushed)
+	}
+	// Ground truth: all clocks have zero offset here, so every switch
+	// processed the packet in epoch 5; every decoded range must contain 5.
+	for i, r := range got.Epochs {
+		if !r.Contains(5) {
+			t.Fatalf("switch %d range %v does not contain epoch 5", i, r)
+		}
+	}
+	// The tagging switch is exact.
+	if got.Epochs[0].Lo != 5 || got.Epochs[0].Hi != 5 {
+		t.Fatalf("tag switch range = %v, want [5,5]", got.Epochs[0])
+	}
+}
+
+func TestCommodityOnlyFirstSwitchTags(t *testing.T) {
+	net, tp := buildChain(t)
+	e := &Embedder{Topo: tp, Mode: ModeCommodity, Params: params10()}
+	installEmbedder(tp, e)
+	a, _ := tp.HostByName("h1-1")
+	f, _ := tp.HostByName("h3-1")
+	var nTags int
+	f.OnReceive(func(p *netsim.Packet, now simtime.Time) { nTags = p.NTag })
+	a.Send(&netsim.Packet{ID: 1, Size: 100, Flow: netsim.FlowKey{Src: a.IP(), Dst: f.IP()}})
+	net.Run()
+	if nTags != 2 {
+		t.Fatalf("NTag = %d, want exactly 2 (link+epoch from the first switch)", nTags)
+	}
+}
+
+func TestCommodityEpochWithClockDrift(t *testing.T) {
+	// With drifting switch clocks the decoded ranges must still contain each
+	// switch's true local epoch at forwarding time.
+	net := netsim.New()
+	eps := 10 * simtime.Millisecond
+	tp := topo.Chain(net, []int{1, 0, 1}, topo.Config{Eps: eps, Seed: 7})
+	p := Params{Alpha: 10 * simtime.Millisecond, Eps: eps, Delta: 20 * simtime.Millisecond}
+	e := &Embedder{Topo: tp, Mode: ModeCommodity, Params: p}
+	installEmbedder(tp, e)
+
+	// Record each switch's true local epoch when it forwards.
+	trueEpochs := map[netsim.NodeID]simtime.Epoch{}
+	for _, sw := range tp.Switches() {
+		sw := sw
+		sw.Pipeline = append(sw.Pipeline, func(s *netsim.Switch, pk *netsim.Packet, in, out *netsim.Port, now simtime.Time) {
+			trueEpochs[s.NodeID()] = s.Clock.EpochAt(now, p.Alpha)
+		})
+	}
+
+	src := tp.Hosts()[0]
+	dst := tp.Hosts()[1]
+	dec := &Decoder{Topo: tp, Mode: ModeCommodity, Params: p}
+	var got Decoded
+	var decErr error
+	dst.OnReceive(func(pk *netsim.Packet, now simtime.Time) {
+		got, decErr = dec.Decode(pk, now, dst.Clock)
+	})
+	net.Engine.At(123*simtime.Millisecond, func() {
+		src.Send(&netsim.Packet{ID: 1, Size: 800, Flow: netsim.FlowKey{Src: src.IP(), Dst: dst.IP()}})
+	})
+	net.Run()
+	if decErr != nil {
+		t.Fatal(decErr)
+	}
+	for i, swID := range got.Path {
+		te, ok := trueEpochs[swID]
+		if !ok {
+			t.Fatalf("switch %v never forwarded", swID)
+		}
+		if !got.Epochs[i].Contains(te) {
+			t.Fatalf("switch %d: true epoch %d outside decoded range %v", i, te, got.Epochs[i])
+		}
+	}
+}
+
+func TestUntaggedSingleSwitchEstimate(t *testing.T) {
+	net := netsim.New()
+	tp := topo.Star(net, 3, topo.Config{})
+	p := params10()
+	e := &Embedder{Topo: tp, Mode: ModeCommodity, Params: p}
+	installEmbedder(tp, e)
+	src, dst := tp.Hosts()[0], tp.Hosts()[1]
+	sw := tp.Switches()[0]
+	var trueEpoch simtime.Epoch
+	sw.Pipeline = append(sw.Pipeline, func(s *netsim.Switch, pk *netsim.Packet, in, out *netsim.Port, now simtime.Time) {
+		trueEpoch = s.Clock.EpochAt(now, p.Alpha)
+	})
+	dec := &Decoder{Topo: tp, Mode: ModeCommodity, Params: p}
+	var got Decoded
+	var decErr error
+	dst.OnReceive(func(pk *netsim.Packet, now simtime.Time) {
+		got, decErr = dec.Decode(pk, now, dst.Clock)
+	})
+	net.Engine.At(42*simtime.Millisecond, func() {
+		src.Send(&netsim.Packet{ID: 1, Size: 500, Flow: netsim.FlowKey{Src: src.IP(), Dst: dst.IP()}})
+	})
+	net.Run()
+	if decErr != nil {
+		t.Fatal(decErr)
+	}
+	if got.TagIdx != -1 || len(got.Path) != 1 {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if !got.Epochs[0].Contains(trueEpoch) {
+		t.Fatalf("estimate %v misses true epoch %d", got.Epochs[0], trueEpoch)
+	}
+	if e.TagsPushed != 0 {
+		t.Fatalf("single-switch path should not be tagged")
+	}
+}
+
+func TestINTEmbedDecode(t *testing.T) {
+	net, tp := buildChain(t)
+	p := params10()
+	e := &Embedder{Topo: tp, Mode: ModeINT, Params: p}
+	installEmbedder(tp, e)
+	a, _ := tp.HostByName("h1-1")
+	f, _ := tp.HostByName("h3-2")
+	dec := &Decoder{Topo: tp, Mode: ModeINT, Params: p}
+	var got Decoded
+	var decErr error
+	f.OnReceive(func(pk *netsim.Packet, now simtime.Time) {
+		got, decErr = dec.Decode(pk, now, f.Clock)
+	})
+	net.Engine.At(37*simtime.Millisecond, func() {
+		a.Send(&netsim.Packet{ID: 1, Size: 600, Flow: netsim.FlowKey{Src: a.IP(), Dst: f.IP()}})
+	})
+	net.Run()
+	if decErr != nil {
+		t.Fatal(decErr)
+	}
+	if len(got.Path) != 3 || got.Mode != ModeINT {
+		t.Fatalf("decoded = %+v", got)
+	}
+	for i, r := range got.Epochs {
+		if r.Lo != r.Hi {
+			t.Fatalf("INT hop %d should be exact, got %v", i, r)
+		}
+		if r.Lo != 3 {
+			t.Fatalf("INT hop %d epoch = %d, want 3 (t=37ms, α=10ms)", i, r.Lo)
+		}
+	}
+	if e.INTRecords != 3 {
+		t.Fatalf("INTRecords = %d", e.INTRecords)
+	}
+}
+
+func TestINTDecodeEmptyStack(t *testing.T) {
+	_, tp := buildChain(t)
+	dec := &Decoder{Topo: tp, Mode: ModeINT, Params: params10()}
+	_, err := dec.Decode(&netsim.Packet{}, 0, simtime.NewClock(0))
+	if err == nil {
+		t.Fatalf("empty INT stack should error")
+	}
+}
+
+func TestHalfTaggedPacketRejected(t *testing.T) {
+	net, tp := buildChain(t)
+	_ = net
+	a, _ := tp.HostByName("h1-1")
+	f, _ := tp.HostByName("h3-1")
+	dec := &Decoder{Topo: tp, Mode: ModeCommodity, Params: params10()}
+	pkt := &netsim.Packet{Flow: netsim.FlowKey{Src: a.IP(), Dst: f.IP()}}
+	s1, _ := tp.SwitchByName("S1")
+	s2, _ := tp.SwitchByName("S2")
+	link, _ := tp.LinkBetween(s1.NodeID(), s2.NodeID())
+	pkt.PushTag(netsim.Tag{Type: netsim.TagLink, Value: uint32(link)})
+	if _, err := dec.Decode(pkt, 0, simtime.NewClock(0)); err == nil {
+		t.Fatalf("link tag without epoch tag should error")
+	}
+}
+
+func TestRuleUpdateIntervalStaleness(t *testing.T) {
+	// With a 15 ms rule floor and α=10 ms, the stamped epoch can lag the
+	// true one (the §4.1.3 commodity constraint). Staleness never exceeds
+	// ceil(interval/α) epochs.
+	net, tp := buildChain(t)
+	p := params10()
+	e := &Embedder{Topo: tp, Mode: ModeCommodity, Params: p, RuleUpdateInterval: 15 * simtime.Millisecond}
+	installEmbedder(tp, e)
+	a, _ := tp.HostByName("h1-1")
+	f, _ := tp.HostByName("h3-1")
+	var stamped simtime.Epoch
+	gotTag := false
+	f.OnReceive(func(pk *netsim.Packet, now simtime.Time) {
+		if tag, ok := pk.TagOf(netsim.TagEpoch); ok {
+			stamped = simtime.Epoch(int32(tag.Value))
+			gotTag = true
+		}
+	})
+	// t = 58 ms: true epoch 5; last rule update at 45 ms → epoch 4.
+	net.Engine.At(58*simtime.Millisecond, func() {
+		a.Send(&netsim.Packet{ID: 1, Size: 400, Flow: netsim.FlowKey{Src: a.IP(), Dst: f.IP()}})
+	})
+	net.Run()
+	if !gotTag {
+		t.Fatalf("no epoch tag")
+	}
+	if stamped != 4 {
+		t.Fatalf("stamped epoch = %d, want 4 (stale by one)", stamped)
+	}
+	if got := e.EpochRuleUpdatesPerSecond(); got != 1000.0/15.0 {
+		t.Fatalf("EpochRuleUpdatesPerSecond = %v", got)
+	}
+}
+
+func TestEpochRuleUpdatesPerSecondDefault(t *testing.T) {
+	e := &Embedder{Params: params10()}
+	if got := e.EpochRuleUpdatesPerSecond(); got != 100 {
+		t.Fatalf("α=10ms should mean 100 rule updates/s, got %v", got)
+	}
+}
+
+func TestWireOverhead(t *testing.T) {
+	if WireOverheadBytes(ModeCommodity, 5) != 8 {
+		t.Fatalf("commodity overhead should be 8B for any multi-switch path")
+	}
+	if WireOverheadBytes(ModeCommodity, 1) != 0 {
+		t.Fatalf("single-switch commodity path carries no tags")
+	}
+	if WireOverheadBytes(ModeINT, 5) != 40 {
+		t.Fatalf("INT overhead should be 8B per hop")
+	}
+}
+
+func TestDecodedEpochAt(t *testing.T) {
+	d := Decoded{
+		Path:   []netsim.NodeID{1, 2},
+		Epochs: []simtime.EpochRange{{Lo: 1, Hi: 2}, {Lo: 3, Hi: 4}},
+	}
+	if r, ok := d.EpochAt(2); !ok || r.Lo != 3 {
+		t.Fatalf("EpochAt(2) = %v %v", r, ok)
+	}
+	if _, ok := d.EpochAt(9); ok {
+		t.Fatalf("EpochAt missing switch should be false")
+	}
+}

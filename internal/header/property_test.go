@@ -1,0 +1,76 @@
+package header
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"switchpointer/internal/simtime"
+)
+
+// TestPropertyExtrapolationSound verifies the §4.2.1 soundness invariant
+// against a randomized forwarding model: for random epoch sizes, drift
+// bounds, hop delays and tagging positions, the decoded per-switch ranges
+// always contain the true local epoch at which each switch processed the
+// packet — provided the true drifts and delays respect the bounds.
+func TestPropertyExtrapolationSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := simtime.Time(1+rng.Intn(30)) * simtime.Millisecond
+		p := Params{
+			Alpha: alpha,
+			Eps:   simtime.Time(rng.Intn(3)) * alpha / 2,
+			Delta: simtime.Time(rng.Intn(5)) * alpha / 2,
+		}
+		n := 1 + rng.Intn(6)
+		tagIdx := rng.Intn(n)
+
+		// Simulate a packet traversal: true arrival times at each switch,
+		// per-hop delays within [0, Δ], clock offsets within ±ε/2.
+		tTrue := simtime.Time(rng.Intn(1_000_000)) * simtime.Microsecond
+		arrivals := make([]simtime.Time, n)
+		offsets := make([]simtime.Time, n)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				hop := simtime.Time(rng.Int63n(int64(p.Delta) + 1))
+				tTrue += hop
+			}
+			arrivals[i] = tTrue
+			if p.Eps > 0 {
+				offsets[i] = simtime.Time(rng.Int63n(int64(p.Eps)+1)) - p.Eps/2
+			}
+		}
+		// The tag carries the tagging switch's local epoch.
+		ei := simtime.EpochOf(arrivals[tagIdx]+offsets[tagIdx], p.Alpha)
+		ranges := ExtrapolateEpochs(n, tagIdx, ei, p)
+		for i := 0; i < n; i++ {
+			trueEpoch := simtime.EpochOf(arrivals[i]+offsets[i], p.Alpha)
+			if !ranges[i].Contains(trueEpoch) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyExtrapolationWidths checks the monotone-width property: range
+// width never shrinks with hop distance from the tagging switch.
+func TestPropertyExtrapolationWidths(t *testing.T) {
+	p := params10()
+	for tagIdx := 0; tagIdx < 5; tagIdx++ {
+		ranges := ExtrapolateEpochs(5, tagIdx, 1000, p)
+		for i := 0; i+1 < tagIdx; i++ { // upstream: width grows away from tag
+			if ranges[i].Len() < ranges[i+1].Len() {
+				t.Fatalf("tag=%d: upstream widths not monotone: %v", tagIdx, ranges)
+			}
+		}
+		for i := tagIdx + 1; i+1 < 5; i++ { // downstream
+			if ranges[i].Len() > ranges[i+1].Len() {
+				t.Fatalf("tag=%d: downstream widths not monotone: %v", tagIdx, ranges)
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package hostagent implements SwitchPointer's end-host component (§4.2):
+// the PathDump-derived agent that decodes telemetry from arriving packets,
+// maintains flow records, monitors per-flow throughput at millisecond
+// granularity, triggers alerts on spurious events, and executes the
+// analyzer's distributed queries.
+package hostagent
+
+import (
+	"fmt"
+	"sort"
+
+	"switchpointer/internal/flowrec"
+	"switchpointer/internal/header"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/store"
+	"switchpointer/internal/topo"
+	"switchpointer/internal/transport"
+)
+
+// Config tunes the agent's trigger engine.
+type Config struct {
+	// MeterInterval is the throughput sampling period (paper: 1 ms).
+	MeterInterval simtime.Time
+	// DropFraction is the relative throughput drop that raises an alert
+	// (paper: 0.5, i.e. "drop of more than 50%").
+	DropFraction float64
+	// MinActiveGbps arms the trigger only for flows that were actually
+	// moving data; idle flows and ACK streams stay quiet.
+	MinActiveGbps float64
+	// Cooldown suppresses repeated alerts for the same flow within the
+	// given window, so one event produces one alert.
+	Cooldown simtime.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MeterInterval == 0 {
+		c.MeterInterval = simtime.Millisecond
+	}
+	if c.DropFraction == 0 {
+		c.DropFraction = 0.5
+	}
+	if c.MinActiveGbps == 0 {
+		c.MinActiveGbps = 0.05
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 20 * simtime.Millisecond
+	}
+	return c
+}
+
+// AlertKind classifies what the trigger saw.
+type AlertKind uint8
+
+// Alert kinds.
+const (
+	AlertThroughputDrop AlertKind = iota + 1
+	AlertTimeout
+)
+
+func (k AlertKind) String() string {
+	switch k {
+	case AlertThroughputDrop:
+		return "throughput-drop"
+	case AlertTimeout:
+		return "tcp-timeout"
+	default:
+		return fmt.Sprintf("alert(%d)", uint8(k))
+	}
+}
+
+// AlertTuple is one <switchID, epochID range, per-epoch byte counts> element
+// of an alert (§5.1).
+type AlertTuple struct {
+	Switch     netsim.NodeID
+	Epochs     simtime.EpochRange
+	EpochBytes map[simtime.Epoch]uint64
+}
+
+// Alert is the message a host sends the analyzer when a trigger fires.
+type Alert struct {
+	Kind       AlertKind
+	Flow       netsim.FlowKey
+	Host       netsim.IPv4
+	DetectedAt simtime.Time
+	PrevGbps   float64
+	CurGbps    float64
+	// Tuples tell the analyzer when and where the victim flow's packets
+	// were: one entry per switch on the path.
+	Tuples []AlertTuple
+}
+
+// Agent is one host's SwitchPointer agent.
+type Agent struct {
+	host *netsim.Host
+	net  *netsim.Network
+	dec  *header.Decoder
+	cfg  Config
+
+	// Store holds the flow records (the MongoDB substitute).
+	Store *store.RecordStore
+	// Meters tracks per-flow arrival throughput at MeterInterval.
+	Meters *transport.FlowMeters
+
+	// OnAlert, when set, receives trigger events.
+	OnAlert func(a Alert)
+
+	// DecodeErrors counts packets whose telemetry could not be decoded.
+	DecodeErrors uint64
+	// Received counts packets processed.
+	Received uint64
+
+	lastAlert map[netsim.FlowKey]simtime.Time
+	trigTimer interface{ Stop() bool }
+}
+
+// New attaches a SwitchPointer agent to a host. The agent immediately starts
+// decoding arriving packets; call StartTriggers to arm the monitor.
+func New(net *netsim.Network, host *netsim.Host, dec *header.Decoder, cfg Config) *Agent {
+	cfg = cfg.withDefaults()
+	a := &Agent{
+		host:      host,
+		net:       net,
+		dec:       dec,
+		cfg:       cfg,
+		Store:     store.New(),
+		Meters:    transport.NewFlowMeters(cfg.MeterInterval),
+		lastAlert: make(map[netsim.FlowKey]simtime.Time),
+	}
+	host.OnReceive(a.onPacket)
+	return a
+}
+
+// Host returns the host this agent runs on.
+func (a *Agent) Host() *netsim.Host { return a.host }
+
+// Config returns the agent's configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+func (a *Agent) onPacket(p *netsim.Packet, now simtime.Time) {
+	a.Received++
+	a.Meters.Record(p, now)
+	dec, err := a.dec.Decode(p, now, a.host.Clock)
+	if err != nil {
+		a.DecodeErrors++
+		return
+	}
+	rec := a.Store.Get(p.Flow)
+	rec.Absorb(p, dec, now)
+	a.Store.Reindex(rec)
+}
+
+// StartTriggers arms the millisecond monitor (the paper's "trigger measures
+// throughput every 1 ms and generates an alert ... if throughput drop is
+// more than 50%").
+func (a *Agent) StartTriggers() {
+	if a.trigTimer != nil {
+		return
+	}
+	a.trigTimer = a.net.Engine.EveryWeak(a.cfg.MeterInterval, a.checkTriggers)
+}
+
+// StopTriggers disarms the monitor.
+func (a *Agent) StopTriggers() {
+	if a.trigTimer != nil {
+		a.trigTimer.Stop()
+		a.trigTimer = nil
+	}
+}
+
+func (a *Agent) checkTriggers() {
+	now := a.net.Now()
+	completed := int(now/a.cfg.MeterInterval) - 1 // last fully elapsed bucket
+	if completed < 1 {
+		return
+	}
+	for _, flow := range a.Meters.Flows() {
+		m := a.Meters.Meter(flow)
+		prev := m.GbpsAt(completed - 1)
+		cur := m.GbpsAt(completed)
+		if prev < a.cfg.MinActiveGbps {
+			continue
+		}
+		if cur >= prev*(1-a.cfg.DropFraction) {
+			continue
+		}
+		if last, ok := a.lastAlert[flow]; ok && now-last < a.cfg.Cooldown {
+			continue
+		}
+		a.lastAlert[flow] = now
+		a.raise(Alert{
+			Kind:       AlertThroughputDrop,
+			Flow:       flow,
+			Host:       a.host.IP(),
+			DetectedAt: now,
+			PrevGbps:   prev,
+			CurGbps:    cur,
+		})
+	}
+}
+
+// InjectTimeout raises a TCP-timeout alert for a flow (the destination-side
+// stack noticing an RTO-scale silence; transports call this from scenario
+// wiring).
+func (a *Agent) InjectTimeout(flow netsim.FlowKey, at simtime.Time) {
+	a.raise(Alert{
+		Kind:       AlertTimeout,
+		Flow:       flow,
+		Host:       a.host.IP(),
+		DetectedAt: at,
+	})
+}
+
+func (a *Agent) raise(al Alert) {
+	if rec, ok := a.Store.Lookup(al.Flow); ok {
+		for i, sw := range rec.Path {
+			tup := AlertTuple{Switch: sw, Epochs: rec.Epochs[i]}
+			if i == rec.TagIdx || (rec.TagIdx == -1 && len(rec.Path) == 1) {
+				tup.EpochBytes = make(map[simtime.Epoch]uint64, len(rec.EpochBytes))
+				for e, b := range rec.EpochBytes {
+					tup.EpochBytes[e] = b
+				}
+			}
+			al.Tuples = append(al.Tuples, tup)
+		}
+	}
+	if a.OnAlert != nil {
+		a.OnAlert(al)
+	}
+}
+
+// ---- Query executors (invoked by the analyzer over RPC) ----
+
+// HeadersQuery asks for records of flows that traversed a switch during an
+// epoch range.
+type HeadersQuery struct {
+	Switch netsim.NodeID
+	Epochs simtime.EpochRange
+}
+
+// QueryHeaders returns (clones of) records matching the query: the
+// "filter headers for packets that match a (switchID, epochID) pair"
+// primitive that SwitchPointer's whole debugging flow builds on.
+func (a *Agent) QueryHeaders(q HeadersQuery) []*flowrec.Record {
+	var out []*flowrec.Record
+	for _, rec := range a.Store.BySwitch(q.Switch) {
+		er, ok := rec.EpochsAt(q.Switch)
+		if !ok || !er.Overlaps(q.Epochs) {
+			continue
+		}
+		out = append(out, rec.Clone())
+	}
+	return out
+}
+
+// FlowBytes pairs a flow with a byte count for top-k style answers.
+type FlowBytes struct {
+	Flow  netsim.FlowKey
+	Bytes uint64
+}
+
+// QueryTopK returns this host's top-k flows by bytes through switch sw.
+// The analyzer merges per-host answers into the global top-k (Fig 12).
+func (a *Agent) QueryTopK(sw netsim.NodeID, k int) []FlowBytes {
+	recs := a.Store.BySwitch(sw)
+	out := make([]FlowBytes, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, FlowBytes{Flow: r.Flow, Bytes: r.Bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Flow.String() < out[j].Flow.String()
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// FlowSize reports one flow's size and the egress link (interface) its
+// packets used at the tagging switch — the §5.4 load-imbalance signal.
+type FlowSize struct {
+	Flow  netsim.FlowKey
+	Bytes uint64
+	Link  topo.LinkID
+}
+
+// QueryFlowSizes returns sizes and egress links of this host's flows through
+// switch sw.
+func (a *Agent) QueryFlowSizes(sw netsim.NodeID) []FlowSize {
+	recs := a.Store.BySwitch(sw)
+	out := make([]FlowSize, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, FlowSize{Flow: r.Flow, Bytes: r.Bytes, Link: r.TagLink})
+	}
+	return out
+}
+
+// QueryPriority returns the recorded DSCP priority of a flow, if known.
+func (a *Agent) QueryPriority(flow netsim.FlowKey) (uint8, bool) {
+	if rec, ok := a.Store.Lookup(flow); ok {
+		return rec.Priority, true
+	}
+	return 0, false
+}

@@ -1,0 +1,52 @@
+package mph
+
+import "math"
+
+// The paper's §4.1.2 strawman: store pointers in an ordinary hash table. It
+// either needs one probe per hierarchy level per packet, or — to get one
+// probe total — a table so over-provisioned that collisions become
+// negligible. This file quantifies that strawman so the ablation benchmarks
+// can reproduce the paper's argument (50M buckets for 100K keys at a 0.1%
+// collision target).
+
+// ExpectedCollisions returns the expected number of colliding keys when m
+// keys are hashed uniformly into n buckets: m − (n − n·(1−1/n)^m).
+func ExpectedCollisions(m, n int) float64 {
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	fn := float64(n)
+	fm := float64(m)
+	occupied := fn - fn*math.Pow(1-1/fn, fm)
+	return fm - occupied
+}
+
+// BucketsForCollisionTarget returns the number of hash-table buckets needed
+// so that the expected number of collisions among m keys stays at or below
+// target (an absolute count, e.g. 0.001·m). It binary-searches the monotone
+// ExpectedCollisions curve.
+func BucketsForCollisionTarget(m int, target float64) int {
+	if m <= 1 {
+		return 1
+	}
+	lo, hi := m, m
+	for ExpectedCollisions(m, hi) > target {
+		hi *= 2
+		if hi > 1<<40 {
+			break
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if ExpectedCollisions(m, mid) > target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// StrawmanTableBytes returns the memory for a collision-averse hash table
+// with one bit per bucket (the most charitable encoding for the strawman).
+func StrawmanTableBytes(buckets int) int { return (buckets + 7) / 8 }

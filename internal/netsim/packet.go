@@ -1,0 +1,175 @@
+// Package netsim is the discrete-event datacenter network simulator that
+// SwitchPointer runs on in this reproduction: the substitute for the paper's
+// physical testbed of commodity switches and servers.
+//
+// The simulator models hosts with rate-limited NICs, switches with per-output
+// -port queues (drop-tail FIFO or strict priority), full-duplex links with
+// bandwidth and propagation delay, and a per-switch forwarding pipeline to
+// which SwitchPointer's datapath (pointer update + telemetry tagging) attaches
+// as hooks. Everything runs on a single deterministic event engine in virtual
+// time, so contention phenomena — priority starvation, microbursts, red-light
+// accumulation, cascades — reproduce exactly across runs.
+package netsim
+
+import (
+	"fmt"
+
+	"switchpointer/internal/simtime"
+)
+
+// IPv4 is an IPv4 address in host byte order. End hosts are identified by
+// their IPv4 address throughout the system; it is the key of the minimal
+// perfect hash at switches.
+type IPv4 uint32
+
+// IP builds an IPv4 address from its four octets.
+func IP(a, b, c, d byte) IPv4 {
+	return IPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String formats the address in dotted-quad notation.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Protocol is an IP protocol number.
+type Protocol uint8
+
+// Protocols used by the workloads.
+const (
+	ProtoTCP Protocol = 6
+	ProtoUDP Protocol = 17
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// FlowKey is the usual 5-tuple identifying a flow. It is comparable and used
+// as a map key everywhere (flow records, meters, diagnosis results).
+type FlowKey struct {
+	Src, Dst         IPv4
+	SrcPort, DstPort uint16
+	Proto            Protocol
+}
+
+// String formats the flow as "proto src:sport->dst:dport".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s:%d->%s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Reverse returns the 5-tuple of the opposite direction (used for ACKs).
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// TCP header flag bits carried by simulated packets.
+const (
+	FlagSYN uint8 = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// TagType distinguishes the two 802.1ad VLAN tags SwitchPointer pushes in
+// commodity mode (§4.1.3): the CherryPick link identifier and the epoch
+// identifier of the tagging switch.
+type TagType uint8
+
+// Tag types.
+const (
+	TagNone  TagType = iota
+	TagLink          // CherryPick key-link ID
+	TagEpoch         // epochID at the tagging switch
+)
+
+// Tag is one VLAN tag on the packet's tag stack. Real 802.1ad tags carry a
+// 12-bit VID; the paper's technique packs the linkID or epochID (mod 2^12)
+// into it. We keep the full value and account header bytes separately.
+type Tag struct {
+	Type  TagType
+	Value uint32
+}
+
+// HopRecord is one entry of the INT-style telemetry stack (clean-slate mode):
+// the switch that forwarded the packet and its local epoch at that instant.
+type HopRecord struct {
+	Switch NodeID
+	Epoch  simtime.Epoch
+}
+
+// VLANTagBytes is the wire overhead of one 802.1Q/802.1ad tag.
+const VLANTagBytes = 4
+
+// INTHopBytes is the wire overhead of one INT hop record (switchID+epoch).
+const INTHopBytes = 8
+
+// Packet is a simulated packet. Size is the full on-wire size in bytes and
+// is what serialization delay and queue occupancy are computed from; when
+// telemetry headers are pushed, Size grows accordingly.
+type Packet struct {
+	ID       uint64
+	Flow     FlowKey
+	Priority uint8 // DSCP class: higher value = higher priority
+	Size     int   // total on-wire bytes
+	Payload  int   // transport payload bytes
+
+	// TCP fields (ignored for UDP).
+	Seq   uint32
+	Ack   uint32
+	Flags uint8
+
+	// Telemetry carried in-band.
+	Tags [2]Tag // commodity mode: [linkID, epochID]
+	NTag int
+	INT  []HopRecord // clean-slate mode
+
+	SentAt simtime.Time // stamped by the sender's transport
+
+	hops int // switch traversals, for the routing-loop guard
+}
+
+// PushTag appends a VLAN tag to the stack and grows the wire size. It panics
+// when more than two tags are pushed: 802.1ad double-tagging is the
+// commodity-switch limit the paper designs around.
+func (p *Packet) PushTag(tag Tag) {
+	if p.NTag >= len(p.Tags) {
+		panic("netsim: VLAN tag stack overflow (802.1ad allows two tags)")
+	}
+	p.Tags[p.NTag] = tag
+	p.NTag++
+	p.Size += VLANTagBytes
+}
+
+// TagOf returns the first tag of the given type and whether it exists.
+func (p *Packet) TagOf(t TagType) (Tag, bool) {
+	for i := 0; i < p.NTag; i++ {
+		if p.Tags[i].Type == t {
+			return p.Tags[i], true
+		}
+	}
+	return Tag{}, false
+}
+
+// AppendINT appends an INT hop record and grows the wire size.
+func (p *Packet) AppendINT(rec HopRecord) {
+	p.INT = append(p.INT, rec)
+	p.Size += INTHopBytes
+}
+
+// Clone returns a deep copy of the packet (used by tests and by fan-out
+// tooling; the datapath itself never copies packets).
+func (p *Packet) Clone() *Packet {
+	c := *p
+	if p.INT != nil {
+		c.INT = append([]HopRecord(nil), p.INT...)
+	}
+	return &c
+}

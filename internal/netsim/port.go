@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"switchpointer/internal/simtime"
+)
+
+// Port is one end of a full-duplex link. Each direction has its own egress
+// queue and transmitter, so A→B traffic never blocks B→A. Serialization
+// delay is Size·8/rate; the packet then propagates for the link delay and is
+// delivered to the peer's owning node.
+type Port struct {
+	owner Node
+	index int // port number on the owning node
+	net   *Network
+
+	queue   Queue
+	rateBps int64
+	delay   simtime.Time
+	peer    *Port
+	busy    bool
+
+	// Counters (egress unless noted). These are the per-port counters that
+	// in-network baseline techniques sample.
+	TxBytes uint64
+	TxPkts  uint64
+	RxBytes uint64
+	RxPkts  uint64
+	Drops   uint64
+
+	// OnTransmit, when set, observes every packet at the instant its
+	// serialization onto the wire begins. Experiments attach per-flow
+	// throughput meters here (e.g. "throughput of flow A-F at S1", Fig 3).
+	OnTransmit func(p *Packet, now simtime.Time)
+}
+
+// Owner returns the node the port belongs to.
+func (pt *Port) Owner() Node { return pt.owner }
+
+// Index returns the port number on its owning node.
+func (pt *Port) Index() int { return pt.index }
+
+// Peer returns the port at the other end of the link.
+func (pt *Port) Peer() *Port { return pt.peer }
+
+// RateBps returns the link rate in bits per second.
+func (pt *Port) RateBps() int64 { return pt.rateBps }
+
+// QueueLen returns the instantaneous egress queue length in packets.
+func (pt *Port) QueueLen() int { return pt.queue.Len() }
+
+// QueueBytes returns the instantaneous egress queue depth in bytes.
+func (pt *Port) QueueBytes() int { return pt.queue.Bytes() }
+
+// send places p on the egress queue and kicks the transmitter. Drops are
+// counted and reported to the network's OnDrop hook.
+func (pt *Port) send(p *Packet) {
+	if !pt.queue.Enqueue(p) {
+		pt.Drops++
+		if pt.net.OnDrop != nil {
+			pt.net.OnDrop(p, pt, pt.net.Engine.Now())
+		}
+		return
+	}
+	if !pt.busy {
+		pt.transmitNext()
+	}
+}
+
+// transmitNext pops the next packet and models serialization + propagation.
+func (pt *Port) transmitNext() {
+	p := pt.queue.Dequeue()
+	if p == nil {
+		pt.busy = false
+		return
+	}
+	pt.busy = true
+	now := pt.net.Engine.Now()
+	pt.TxBytes += uint64(p.Size)
+	pt.TxPkts++
+	if pt.OnTransmit != nil {
+		pt.OnTransmit(p, now)
+	}
+	txTime := serializationTime(p.Size, pt.rateBps)
+	peer := pt.peer
+	// Serialization completes at now+txTime: the port is free for the next
+	// packet. The tail of the packet reaches the peer after the propagation
+	// delay on top of that.
+	pt.net.Engine.After(txTime, func() {
+		pt.net.Engine.After(pt.delay, func() {
+			peer.receive(p)
+		})
+		pt.transmitNext()
+	})
+}
+
+// receive hands an arriving packet to the owning node.
+func (pt *Port) receive(p *Packet) {
+	pt.RxBytes += uint64(p.Size)
+	pt.RxPkts++
+	pt.owner.deliver(p, pt, pt.net.Engine.Now())
+}
+
+// serializationTime returns the time to clock size bytes onto a link of the
+// given rate.
+func serializationTime(size int, rateBps int64) simtime.Time {
+	if rateBps <= 0 {
+		panic("netsim: non-positive link rate")
+	}
+	return simtime.Time(int64(size) * 8 * int64(simtime.Second) / rateBps)
+}

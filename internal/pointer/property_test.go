@@ -1,0 +1,204 @@
+package pointer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"switchpointer/internal/simtime"
+)
+
+// TestPropertyLevelKSupersetsLevel1 checks the defining containment invariant
+// under random touch/advance interleavings: for any epoch window still
+// retained at level 1, the covering slot at any higher level contains (as a
+// superset) the union of the level-1 slots.
+func TestPropertyLevelKSupersetsLevel1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: 64}, nil)
+		if err != nil {
+			return false
+		}
+		s.Advance(0)
+		epoch := simtime.Epoch(0)
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) == 0 {
+				epoch += simtime.Epoch(rng.Intn(3))
+				s.Advance(epoch)
+			} else {
+				s.Touch(rng.Intn(64))
+			}
+		}
+		// For each live level-1 slot, the level-2 slot covering its window
+		// must be a superset.
+		for _, l1 := range s.SlotsAt(1, simtime.EpochRange{Lo: 0, Hi: epoch}) {
+			l2s := s.SlotsAt(2, l1.Epochs)
+			if len(l2s) == 0 {
+				continue // level-2 slot may have recycled in long runs
+			}
+			union := l2s[0].Bits.Clone()
+			for _, o := range l2s[1:] {
+				union.UnionWith(o.Bits)
+			}
+			ok := true
+			l1.Bits.ForEach(func(i int) bool {
+				if !union.Get(i) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyQueryNeverMissesRetainedTouches replays a random schedule of
+// touches against a brute-force oracle: whenever Query reports Covered for a
+// range, it must include every host touched in that range.
+func TestPropertyQueryNeverMissesRetainedTouches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(Config{Alpha: 10 * simtime.Millisecond, K: 2, NumHosts: 32}, nil)
+		if err != nil {
+			return false
+		}
+		s.Advance(0)
+		// oracle[e] = set of hosts touched during epoch e.
+		oracle := map[simtime.Epoch]map[int]bool{}
+		epoch := simtime.Epoch(0)
+		for op := 0; op < 150; op++ {
+			if rng.Intn(4) == 0 {
+				epoch++
+				s.Advance(epoch)
+			} else {
+				idx := rng.Intn(32)
+				s.Touch(idx)
+				if oracle[epoch] == nil {
+					oracle[epoch] = map[int]bool{}
+				}
+				oracle[epoch][idx] = true
+			}
+		}
+		// Random queries.
+		for q := 0; q < 20; q++ {
+			lo := simtime.Epoch(rng.Intn(int(epoch) + 1))
+			hi := lo + simtime.Epoch(rng.Intn(5))
+			bits, res := s.Query(simtime.EpochRange{Lo: lo, Hi: hi})
+			if !res.Covered {
+				continue
+			}
+			for e := lo; e <= hi && e <= epoch; e++ {
+				for idx := range oracle[e] {
+					if !bits.Get(idx) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNoFalseHostsAtLevel1 checks the converse at the finest level:
+// a level-1-covered query returns no host that was not touched in the range.
+func TestPropertyNoFalseHostsAtLevel1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(Config{Alpha: 10 * simtime.Millisecond, K: 2, NumHosts: 32}, nil)
+		if err != nil {
+			return false
+		}
+		s.Advance(0)
+		oracle := map[simtime.Epoch]map[int]bool{}
+		epoch := simtime.Epoch(0)
+		for op := 0; op < 100; op++ {
+			if rng.Intn(4) == 0 {
+				epoch++
+				s.Advance(epoch)
+			} else {
+				idx := rng.Intn(32)
+				s.Touch(idx)
+				if oracle[epoch] == nil {
+					oracle[epoch] = map[int]bool{}
+				}
+				oracle[epoch][idx] = true
+			}
+		}
+		for q := 0; q < 20; q++ {
+			lo := simtime.Epoch(rng.Intn(int(epoch) + 1))
+			hi := lo + simtime.Epoch(rng.Intn(3))
+			bits, res := s.Query(simtime.EpochRange{Lo: lo, Hi: hi})
+			if res.Level != 1 || !res.Covered {
+				continue
+			}
+			okAll := true
+			bits.ForEach(func(idx int) bool {
+				found := false
+				for e := lo; e <= hi; e++ {
+					if oracle[e][idx] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					okAll = false
+					return false
+				}
+				return true
+			})
+			if !okAll {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTouchK3(b *testing.B) {
+	s, err := New(Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: 100000}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Advance(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Touch(i % 100000)
+	}
+}
+
+func BenchmarkTouchK5(b *testing.B) {
+	s, err := New(Config{Alpha: 10 * simtime.Millisecond, K: 5, NumHosts: 100000}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Advance(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Touch(i % 100000)
+	}
+}
+
+func BenchmarkAdvanceEpoch(b *testing.B) {
+	s, err := New(Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: 100000}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Advance(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Advance(simtime.Epoch(i + 1))
+	}
+}

@@ -1,0 +1,179 @@
+// Package rpc models and implements the control communication between the
+// analyzer, switch agents, and host agents.
+//
+// It has two halves:
+//
+//   - A virtual-time cost model (this file) substituting for the paper's
+//     flask-based agents. The paper's §6.2 analysis shows diagnosis latency
+//     is dominated by *sequential per-server connection initiation* (the
+//     analyzer spawns one thread per server on demand); pooling connections
+//     is the suggested optimization. The cost model reproduces exactly that
+//     structure so Figs 7, 8 and 12 can be regenerated, and exposes the
+//     pooled mode as an ablation.
+//
+//   - A real JSON-over-HTTP binding (http.go) of the same query interfaces,
+//     run over net/http, demonstrating the system end-to-end as an actual
+//     distributed service.
+package rpc
+
+import (
+	"fmt"
+
+	"switchpointer/internal/simtime"
+)
+
+// CostModel parameterizes the virtual-time communication costs, calibrated
+// to the latencies the paper reports (§5, §6.2).
+type CostModel struct {
+	// AlertSend is the host→analyzer alert + acknowledgment time
+	// (paper: 2–3 ms).
+	AlertSend simtime.Time
+	// PointerPull is the time to retrieve pointers from one switch
+	// (paper: 7–8 ms).
+	PointerPull simtime.Time
+	// PointerPullExtra is the marginal cost per additional switch pulled in
+	// the same round (pulls overlap; the red-lights case fetches from three
+	// switches in ~10 ms).
+	PointerPullExtra simtime.Time
+	// ConnInit is the per-server connection-initiation cost: flask's
+	// on-demand thread creation plus TCP/HTTP setup. Paid SEQUENTIALLY per
+	// contacted server (paper's §6.2 bottleneck).
+	ConnInit simtime.Time
+	// RTT is one request/response network round trip.
+	RTT simtime.Time
+	// QueryExec is the base query execution time at a host.
+	QueryExec simtime.Time
+	// QueryPerRecord is the marginal execution time per record scanned.
+	QueryPerRecord simtime.Time
+
+	// Pooled switches the analyzer to a connection pool: ConnInit is paid
+	// only on first contact with a server (the paper's proposed fix).
+	Pooled bool
+}
+
+// DefaultCostModel returns costs calibrated to the paper's measurements:
+// ~3 ms alert, 7.5 ms single-switch pointer retrieval, and ≈3.3 ms/server
+// sequential connection initiation (which yields PathDump's ≈0.35 s at 96
+// servers in Fig 12 and the ≈400 ms load-imbalance diagnosis at 96 relevant
+// servers in Fig 8).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		AlertSend:        2500 * simtime.Microsecond,
+		PointerPull:      7500 * simtime.Microsecond,
+		PointerPullExtra: 1250 * simtime.Microsecond,
+		ConnInit:         3300 * simtime.Microsecond,
+		RTT:              250 * simtime.Microsecond,
+		QueryExec:        800 * simtime.Microsecond,
+		QueryPerRecord:   2 * simtime.Microsecond,
+	}
+}
+
+// Validate checks the model.
+func (c CostModel) Validate() error {
+	if c.AlertSend < 0 || c.PointerPull < 0 || c.ConnInit < 0 || c.RTT < 0 ||
+		c.QueryExec < 0 || c.QueryPerRecord < 0 || c.PointerPullExtra < 0 {
+		return fmt.Errorf("rpc: negative cost")
+	}
+	return nil
+}
+
+// Clock tracks the analyzer's position in virtual time as a diagnosis
+// proceeds, together with a per-phase breakdown ledger.
+type Clock struct {
+	cost      CostModel
+	now       simtime.Time
+	connected map[string]bool // servers with pooled connections
+	phases    []Phase
+}
+
+// Phase is one named span of a diagnosis timeline.
+type Phase struct {
+	Name     string
+	Duration simtime.Time
+}
+
+// NewClock starts an analyzer clock at the given virtual time.
+func NewClock(cost CostModel, start simtime.Time) *Clock {
+	return &Clock{cost: cost, now: start, connected: make(map[string]bool)}
+}
+
+// Now returns the analyzer's current virtual time.
+func (c *Clock) Now() simtime.Time { return c.now }
+
+// Phases returns the recorded per-phase breakdown.
+func (c *Clock) Phases() []Phase { return c.phases }
+
+// PhaseTotal returns the summed duration of phases with the given name.
+func (c *Clock) PhaseTotal(name string) simtime.Time {
+	var total simtime.Time
+	for _, p := range c.phases {
+		if p.Name == name {
+			total += p.Duration
+		}
+	}
+	return total
+}
+
+// Total returns the summed duration of all phases.
+func (c *Clock) Total() simtime.Time {
+	var total simtime.Time
+	for _, p := range c.phases {
+		total += p.Duration
+	}
+	return total
+}
+
+// spend advances the clock and records a phase.
+func (c *Clock) spend(name string, d simtime.Time) {
+	if d < 0 {
+		d = 0
+	}
+	c.now += d
+	c.phases = append(c.phases, Phase{Name: name, Duration: d})
+}
+
+// Spend records an explicitly-costed phase (e.g. detection latency measured
+// by the host trigger).
+func (c *Clock) Spend(name string, d simtime.Time) { c.spend(name, d) }
+
+// AlertDelivered accounts the host→analyzer alert hop.
+func (c *Clock) AlertDelivered() { c.spend("alert", c.cost.AlertSend) }
+
+// PointersPulled accounts retrieving pointers from n switches in one
+// overlapping round.
+func (c *Clock) PointersPulled(n int) {
+	if n <= 0 {
+		return
+	}
+	d := c.cost.PointerPull + simtime.Time(n-1)*c.cost.PointerPullExtra
+	c.spend("pointer-retrieval", d)
+}
+
+// HostsQueried accounts one query round to the named servers, where server i
+// scans recs[i] records. Connection initiation is sequential per server (or
+// pooled); execution and responses overlap across servers.
+func (c *Clock) HostsQueried(phase string, servers []string, recs []int) {
+	if len(servers) == 0 {
+		return
+	}
+	var init simtime.Time
+	for _, s := range servers {
+		if c.cost.Pooled && c.connected[s] {
+			continue
+		}
+		c.connected[s] = true
+		init += c.cost.ConnInit
+	}
+	var maxExec simtime.Time
+	for i := range servers {
+		n := 0
+		if i < len(recs) {
+			n = recs[i]
+		}
+		exec := c.cost.QueryExec + simtime.Time(n)*c.cost.QueryPerRecord
+		if exec > maxExec {
+			maxExec = exec
+		}
+	}
+	c.spend(phase, init+c.cost.RTT+maxExec)
+}

@@ -1,0 +1,244 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"switchpointer/internal/bitset"
+	"switchpointer/internal/flowrec"
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/switchagent"
+	"switchpointer/internal/topo"
+)
+
+// This file is the real-network binding of the agent query interfaces:
+// JSON over HTTP via net/http, replacing the paper's flask microframework.
+// Handlers must only be served while the simulation engine is idle (the
+// simulated testbed is single-threaded); in deployments the agents would own
+// their state behind these handlers directly.
+
+// HeadersRequest asks a host for records matching (switch, epoch range).
+type HeadersRequest struct {
+	Switch  netsim.NodeID `json:"switch"`
+	EpochLo simtime.Epoch `json:"epoch_lo"`
+	EpochHi simtime.Epoch `json:"epoch_hi"`
+}
+
+// TopKRequest asks a host for its top-k flows through a switch.
+type TopKRequest struct {
+	Switch netsim.NodeID `json:"switch"`
+	K      int           `json:"k"`
+}
+
+// FlowSizesRequest asks a host for flow sizes and egress links at a switch.
+type FlowSizesRequest struct {
+	Switch netsim.NodeID `json:"switch"`
+}
+
+// PriorityRequest asks a host for a flow's recorded DSCP priority.
+type PriorityRequest struct {
+	Flow netsim.FlowKey `json:"flow"`
+}
+
+// PriorityResponse is the answer to a PriorityRequest.
+type PriorityResponse struct {
+	Priority uint8 `json:"priority"`
+	Known    bool  `json:"known"`
+}
+
+// PointersRequest asks a switch for its pointer union over an epoch range.
+type PointersRequest struct {
+	EpochLo simtime.Epoch `json:"epoch_lo"`
+	EpochHi simtime.Epoch `json:"epoch_hi"`
+}
+
+// PointersResponse carries the pointer bitmap and how it was satisfied.
+type PointersResponse struct {
+	HostsB64 string `json:"hosts_b64"`
+	Level    int    `json:"level"`
+	Slots    int    `json:"slots"`
+	Covered  bool   `json:"covered"`
+	Source   string `json:"source"`
+}
+
+// Decode unpacks the bitmap.
+func (pr *PointersResponse) Decode() (*bitset.Set, error) {
+	raw, err := base64.StdEncoding.DecodeString(pr.HostsB64)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: pointer bitmap: %w", err)
+	}
+	var s bitset.Set
+	if err := s.UnmarshalBinary(raw); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// NewHostHandler exposes a host agent's query executors over HTTP.
+func NewHostHandler(a *hostagent.Agent) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/headers", func(w http.ResponseWriter, r *http.Request) {
+		var req HeadersRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		recs := a.QueryHeaders(hostagent.HeadersQuery{
+			Switch: req.Switch,
+			Epochs: simtime.EpochRange{Lo: req.EpochLo, Hi: req.EpochHi},
+		})
+		writeJSON(w, recs)
+	})
+	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
+		var req TopKRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, a.QueryTopK(req.Switch, req.K))
+	})
+	mux.HandleFunc("/flowsizes", func(w http.ResponseWriter, r *http.Request) {
+		var req FlowSizesRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, a.QueryFlowSizes(req.Switch))
+	})
+	mux.HandleFunc("/priority", func(w http.ResponseWriter, r *http.Request) {
+		var req PriorityRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		prio, known := a.QueryPriority(req.Flow)
+		writeJSON(w, PriorityResponse{Priority: prio, Known: known})
+	})
+	return mux
+}
+
+// NewSwitchHandler exposes a switch agent's pointer pulls over HTTP.
+func NewSwitchHandler(a *switchagent.Agent) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/pointers", func(w http.ResponseWriter, r *http.Request) {
+		var req PointersRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		res := a.PullPointers(simtime.EpochRange{Lo: req.EpochLo, Hi: req.EpochHi})
+		raw, err := res.Hosts.MarshalBinary()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, PointersResponse{
+			HostsB64: base64.StdEncoding.EncodeToString(raw),
+			Level:    res.Info.Level,
+			Slots:    res.Info.Slots,
+			Covered:  res.Info.Covered,
+			Source:   res.Source,
+		})
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// HTTPClient is the analyzer-side client for the HTTP binding.
+type HTTPClient struct {
+	HTTP *http.Client
+}
+
+// NewHTTPClient returns a client using the given http.Client (or the default
+// client when nil).
+func NewHTTPClient(c *http.Client) *HTTPClient {
+	if c == nil {
+		c = http.DefaultClient
+	}
+	return &HTTPClient{HTTP: c}
+}
+
+func (c *HTTPClient) post(url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("rpc: marshal: %w", err)
+	}
+	httpResp, err := c.HTTP.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("rpc: post %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return fmt.Errorf("rpc: %s: status %d: %s", url, httpResp.StatusCode, msg)
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(httpResp.Body).Decode(resp)
+}
+
+// QueryHeaders fetches matching records from a host agent at baseURL.
+func (c *HTTPClient) QueryHeaders(baseURL string, sw netsim.NodeID, epochs simtime.EpochRange) ([]*flowrec.Record, error) {
+	var out []*flowrec.Record
+	err := c.post(baseURL+"/headers", HeadersRequest{Switch: sw, EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out)
+	return out, err
+}
+
+// QueryTopK fetches a host's top-k flows through a switch.
+func (c *HTTPClient) QueryTopK(baseURL string, sw netsim.NodeID, k int) ([]hostagent.FlowBytes, error) {
+	var out []hostagent.FlowBytes
+	err := c.post(baseURL+"/topk", TopKRequest{Switch: sw, K: k}, &out)
+	return out, err
+}
+
+// QueryFlowSizes fetches flow sizes + egress links at a switch from a host.
+func (c *HTTPClient) QueryFlowSizes(baseURL string, sw netsim.NodeID) ([]hostagent.FlowSize, error) {
+	var out []hostagent.FlowSize
+	err := c.post(baseURL+"/flowsizes", FlowSizesRequest{Switch: sw}, &out)
+	return out, err
+}
+
+// QueryPriority fetches a flow's priority from a host.
+func (c *HTTPClient) QueryPriority(baseURL string, flow netsim.FlowKey) (uint8, bool, error) {
+	var out PriorityResponse
+	err := c.post(baseURL+"/priority", PriorityRequest{Flow: flow}, &out)
+	return out.Priority, out.Known, err
+}
+
+// PullPointers fetches a switch's pointer union for an epoch range.
+func (c *HTTPClient) PullPointers(baseURL string, epochs simtime.EpochRange) (*bitset.Set, PointersResponse, error) {
+	var out PointersResponse
+	if err := c.post(baseURL+"/pointers", PointersRequest{EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out); err != nil {
+		return nil, out, err
+	}
+	bits, err := out.Decode()
+	return bits, out, err
+}
+
+// Ensure topo.LinkID marshals as a plain number in FlowSize responses.
+var _ = topo.LinkID(0)

@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"testing"
+
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+)
+
+func TestTestbedAssembly(t *testing.T) {
+	s, err := NewTooMuchTraffic(TooMuchTrafficConfig{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := s.Testbed
+	if len(tb.SwitchAgents) != 2 || len(tb.HostAgents) != 6 {
+		t.Fatalf("agents: %d switches, %d hosts", len(tb.SwitchAgents), len(tb.HostAgents))
+	}
+	for _, ag := range tb.SwitchAgents {
+		if ag.MPH() == nil {
+			t.Fatalf("MPH not distributed to %v", ag)
+		}
+	}
+	if tb.Analyzer == nil || tb.Decoder == nil {
+		t.Fatalf("missing analyzer/decoder")
+	}
+}
+
+func TestTestbedPanicsOnBadNames(t *testing.T) {
+	s, _ := NewTooMuchTraffic(TooMuchTrafficConfig{M: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bad host name should panic")
+		}
+	}()
+	s.Testbed.Host("nope")
+}
+
+func TestBadConfigs(t *testing.T) {
+	if _, err := NewTooMuchTraffic(TooMuchTrafficConfig{M: 0}); err == nil {
+		t.Fatalf("M=0 accepted")
+	}
+	if _, err := NewLoadImbalance(1, Options{}); err == nil {
+		t.Fatalf("1 flow accepted")
+	}
+	if _, err := NewTopKWorkload(5, 4, Options{}); err == nil {
+		t.Fatalf("relevant > total accepted")
+	}
+}
+
+// TestFig2aShape verifies the priority-contention curve: pre-burst line
+// rate, near-zero during bursts (scaling with m), recovery between batches,
+// and growing inter-packet gaps with m.
+func TestFig2aShape(t *testing.T) {
+	gapByM := map[int]float64{}
+	for _, m := range []int{1, 8} {
+		s, err := NewTooMuchTraffic(TooMuchTrafficConfig{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Testbed.Run(110 * simtime.Millisecond)
+		meter := s.VictimMeter
+
+		// Pre-burst steady state near 1G.
+		pre := avg(meter.GbpsSeries(100)[12:19])
+		if pre < 0.80 {
+			t.Fatalf("m=%d: pre-burst throughput %.3f", m, pre)
+		}
+		// During the third burst (t=50ms) the victim collapses; with m=8
+		// the backlog keeps it down for several ms.
+		during := meter.GbpsAt(51)
+		if m == 8 && during > pre/2 {
+			t.Fatalf("m=8: no collapse during burst: %.3f vs %.3f", during, pre)
+		}
+		// Max inter-packet gap grows with m.
+		gapByM[m] = meter.MaxGap().Milliseconds()
+	}
+	if gapByM[8] <= gapByM[1] {
+		t.Fatalf("gaps not increasing with m: %v", gapByM)
+	}
+	// m=8 starves ≈ 8 ms (8×1ms backlog at 1G): gap in the several-ms range.
+	if gapByM[8] < 3 {
+		t.Fatalf("m=8 max gap = %.2f ms, want multiple ms", gapByM[8])
+	}
+}
+
+// TestFig2bShape verifies the microburst variant: throughput dips occur but
+// inter-packet gaps stay much smaller than under priority queueing (packets
+// interleave in the FIFO instead of waiting out the whole burst).
+func TestFig2bShape(t *testing.T) {
+	mkGap := func(micro bool) float64 {
+		s, err := NewTooMuchTraffic(TooMuchTrafficConfig{M: 8, Microburst: micro})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Testbed.Run(110 * simtime.Millisecond)
+		return s.VictimMeter.MaxGap().Milliseconds()
+	}
+	prioGap := mkGap(false)
+	fifoGap := mkGap(true)
+	if fifoGap >= prioGap {
+		t.Fatalf("FIFO gap (%.2fms) should be well under priority gap (%.2fms)", fifoGap, prioGap)
+	}
+}
+
+// TestFig3Shape verifies the red-lights accumulation: the victim's
+// throughput as seen at S2's egress dips when the red lights hit, and the
+// destination sees a clear drop around t=5–6 ms.
+func TestFig3Shape(t *testing.T) {
+	s, err := NewRedLights(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Testbed.Run(30 * simtime.Millisecond)
+
+	// Destination-side drop around the red lights (buckets 5–6).
+	f := s.MeterAtF
+	pre := avg(f.GbpsSeries(10)[2:5])
+	dip := f.GbpsAt(5)
+	if pre < 0.5 {
+		t.Fatalf("victim did not ramp up: pre=%.3f", pre)
+	}
+	if dip > pre*0.7 {
+		t.Fatalf("no dip at the red lights: pre=%.3f dip=%.3f", pre, dip)
+	}
+	// The per-switch meters saw the victim's packets.
+	if s.MeterAtS1.Meter(s.Victim) == nil || s.MeterAtS2.Meter(s.Victim) == nil {
+		t.Fatalf("switch vantage meters empty")
+	}
+	// An alert fired at F.
+	if _, ok := s.Testbed.AlertFor(s.Victim); !ok {
+		t.Fatalf("no alert at destination")
+	}
+}
+
+// TestFig4Shape verifies the cascade effect on completion time: C-E finishes
+// much later when the cascade is induced.
+func TestFig4Shape(t *testing.T) {
+	run := func(induce bool) simtime.Time {
+		s, err := NewCascades(induce, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Testbed.Run(200 * simtime.Millisecond)
+		if !s.SenderCE.Done() {
+			t.Fatalf("induce=%v: C-E did not finish", induce)
+		}
+		return s.SenderCE.CompletedAt
+	}
+	base := run(false)
+	cascaded := run(true)
+	if cascaded <= base+5*simtime.Millisecond {
+		t.Fatalf("cascade did not delay C-E: base=%v cascaded=%v", base, cascaded)
+	}
+}
+
+// TestFig4MidFlowDelayed verifies the middle of the chain: A-F's arrivals
+// are pushed back by B-D when the cascade is induced.
+func TestFig4MidFlowDelayed(t *testing.T) {
+	s, err := NewCascades(true, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Testbed.Run(100 * simtime.Millisecond)
+	// With the cascade, A-F's delivery extends past 10 ms (its send window)
+	// because it sat queued behind B-D at S1.
+	af := s.MeterAF
+	var lastBusy int
+	for i := 0; i < af.Buckets(); i++ {
+		if af.BytesAt(i) > 0 {
+			lastBusy = i
+		}
+	}
+	if lastBusy < 12 {
+		t.Fatalf("A-F not delayed: last activity in bucket %d", lastBusy)
+	}
+}
+
+func TestLoadImbalanceFlowsRouted(t *testing.T) {
+	s, err := NewLoadImbalance(6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := s.Testbed
+	tb.Run(300 * simtime.Millisecond)
+	// Every destination host received its flow.
+	for flow := range s.Flows {
+		ag := tb.HostAgents[flow.Dst]
+		if ag == nil {
+			t.Fatalf("no agent for %v", flow.Dst)
+		}
+		rec, ok := ag.Store.Lookup(flow)
+		if !ok {
+			t.Fatalf("flow %v not recorded", flow)
+		}
+		if rec.TagLink == 0 {
+			t.Fatalf("flow %v has no link tag", flow)
+		}
+	}
+	// Small and large flows used different links.
+	links := map[int64]map[uint32]bool{} // small/large → set of links
+	for flow, size := range s.Flows {
+		rec, _ := tb.HostAgents[flow.Dst].Store.Lookup(flow)
+		cls := int64(0)
+		if size >= SizeBoundary {
+			cls = 1
+		}
+		if links[cls] == nil {
+			links[cls] = map[uint32]bool{}
+		}
+		links[cls][uint32(rec.TagLink)] = true
+	}
+	for l := range links[0] {
+		if links[1][l] {
+			t.Fatalf("small and large flows share link %d", l)
+		}
+	}
+}
+
+func TestTopKWorkloadOnlyRelevantHostsHaveRecords(t *testing.T) {
+	s, err := NewTopKWorkload(3, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := s.Testbed
+	tb.Run(30 * simtime.Millisecond)
+	withRecords := 0
+	for i := 1; i <= 8; i++ {
+		h := tb.Host("R" + string(rune('0'+i)))
+		if tb.HostAgents[h.IP()].Store.Len() > 0 {
+			withRecords++
+		}
+	}
+	if withRecords != 3 {
+		t.Fatalf("hosts with records = %d, want 3", withRecords)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Alpha != 10*simtime.Millisecond || o.K != 3 || o.Eps != o.Alpha || o.Delta != 2*o.Alpha {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.Params().Alpha != o.Alpha {
+		t.Fatalf("Params mismatch")
+	}
+}
+
+func TestAlertsCollected(t *testing.T) {
+	s, err := NewRedLights(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Testbed.Run(30 * simtime.Millisecond)
+	if len(s.Testbed.Alerts) == 0 {
+		t.Fatalf("no alerts collected")
+	}
+	if _, ok := s.Testbed.AlertFor(netsim.FlowKey{Src: 1}); ok {
+		t.Fatalf("bogus flow matched")
+	}
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

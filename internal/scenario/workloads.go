@@ -1,0 +1,380 @@
+package scenario
+
+import (
+	"fmt"
+
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/topo"
+	"switchpointer/internal/transport"
+)
+
+// Flow priorities used across the scenarios (higher DSCP = served first).
+const (
+	PrioLow  uint8 = 1
+	PrioMid  uint8 = 4
+	PrioHigh uint8 = 7
+)
+
+// TooMuchTraffic is the §2.1 workload (Figs 1(a), 2, 7): a long-lived TCP
+// flow across a shared bottleneck, hit by five batches of m high-priority
+// 1 ms UDP bursts spaced 15 ms apart.
+type TooMuchTraffic struct {
+	Testbed *Testbed
+	// Victim is the TCP flow under test.
+	Victim netsim.FlowKey
+	// VictimMeter tracks arrival throughput and inter-packet gaps at the
+	// destination (the Fig 2 series).
+	VictimMeter *transport.Meter
+	// Sender/Receiver expose TCP internals (timeouts etc.).
+	Sender   *transport.TCPSender
+	Receiver *transport.TCPReceiver
+	// BurstStarts are the batch start times.
+	BurstStarts []simtime.Time
+}
+
+// TooMuchTrafficConfig parameterizes the workload.
+type TooMuchTrafficConfig struct {
+	M int // UDP flows per batch (the paper sweeps 1,2,4,8,16)
+	// Microburst selects the §2.1 FIFO variant (Fig 2(b)): every flow gets
+	// equal treatment. Default (false) is the priority variant (Fig 2(a)).
+	Microburst bool
+	Opt        Options
+}
+
+// NewTooMuchTraffic assembles the workload on a dumbbell.
+func NewTooMuchTraffic(cfg TooMuchTrafficConfig) (*TooMuchTraffic, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("scenario: M must be ≥ 1")
+	}
+	opt := cfg.Opt
+	if cfg.Microburst {
+		opt.Queue = netsim.QueueFIFO
+	} else {
+		opt.Queue = netsim.QueuePriority
+	}
+	nSide := cfg.M + 1
+	tb, err := NewTestbed(func(net *netsim.Network, tc topo.Config) *topo.Topology {
+		return topo.Dumbbell(net, nSide, nSide, tc)
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &TooMuchTraffic{Testbed: tb}
+	src := tb.Host("L1")
+	dst := tb.Host("R1")
+	tcpPrio := PrioLow
+	burstPrio := PrioHigh
+	if cfg.Microburst {
+		// FIFO: priorities are ignored by the queue; keep them equal so the
+		// diagnosis sees a same-priority burst.
+		tcpPrio, burstPrio = PrioLow, PrioLow
+	}
+	s.Victim = netsim.FlowKey{Src: src.IP(), Dst: dst.IP(), SrcPort: 10000, DstPort: 5001, Proto: netsim.ProtoTCP}
+	s.VictimMeter = transport.NewMeter(simtime.Millisecond)
+	victim := s.Victim
+	meter := s.VictimMeter
+	dst.OnReceive(func(p *netsim.Packet, now simtime.Time) {
+		if p.Flow == victim {
+			meter.Record(p.Size, now)
+		}
+	})
+	s.Sender, s.Receiver = transport.StartTCP(tb.Net, src, dst, transport.TCPConfig{
+		Flow:     s.Victim,
+		Priority: tcpPrio,
+		Start:    0,
+		Duration: 100 * simtime.Millisecond,
+	})
+
+	// Five batches of m UDP bursts, 1 ms each, 15 ms apart, starting at
+	// 20 ms; every burst flow has a distinct source-destination pair. Each
+	// flow sends at 600 Mb/s: one flow contends without fully starving the
+	// victim (the paper's m=1 curve dips, m=16 starves for ≈10 ms).
+	for batch := 0; batch < 5; batch++ {
+		start := (20 + simtime.Time(batch)*15) * simtime.Millisecond
+		s.BurstStarts = append(s.BurstStarts, start)
+		for i := 0; i < cfg.M; i++ {
+			bSrc := tb.Host(fmt.Sprintf("L%d", i+2))
+			bDst := tb.Host(fmt.Sprintf("R%d", i+2))
+			transport.StartUDP(tb.Net, bSrc, transport.UDPConfig{
+				Flow: netsim.FlowKey{Src: bSrc.IP(), Dst: bDst.IP(),
+					SrcPort: uint16(20000 + batch), DstPort: uint16(7000 + i), Proto: netsim.ProtoUDP},
+				Priority: burstPrio,
+				RateBps:  600_000_000,
+				Start:    start,
+				Duration: simtime.Millisecond,
+			})
+		}
+	}
+	return s, nil
+}
+
+// RedLights is the §2.2 workload (Figs 1(b), 3): TCP A→F across S1–S2–S3
+// hits two sequential 400 µs high-priority UDP bursts, B→D at S1 then C→E
+// at S2.
+type RedLights struct {
+	Testbed *Testbed
+	Victim  netsim.FlowKey // A→F
+	FlowBD  netsim.FlowKey
+	FlowCE  netsim.FlowKey
+	// MeterAtS1/S2 measure the victim's throughput on the egress links of
+	// S1 and S2 (the Fig 3 vantage points). MeterAtF measures at the
+	// destination host.
+	MeterAtS1, MeterAtS2 *transport.FlowMeters
+	MeterAtF             *transport.Meter
+	Sender               *transport.TCPSender
+}
+
+// NewRedLights assembles the workload on a 3-switch chain.
+func NewRedLights(opt Options) (*RedLights, error) {
+	opt.Queue = netsim.QueuePriority
+	tb, err := NewTestbed(func(net *netsim.Network, tc topo.Config) *topo.Topology {
+		return topo.Chain(net, []int{2, 2, 2}, tc)
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &RedLights{Testbed: tb}
+	a, b := tb.Host("h1-1"), tb.Host("h1-2")
+	c, d := tb.Host("h2-1"), tb.Host("h2-2")
+	e, f := tb.Host("h3-1"), tb.Host("h3-2")
+
+	s.Victim = netsim.FlowKey{Src: a.IP(), Dst: f.IP(), SrcPort: 10000, DstPort: 5001, Proto: netsim.ProtoTCP}
+	s.FlowBD = netsim.FlowKey{Src: b.IP(), Dst: d.IP(), SrcPort: 20001, DstPort: 7001, Proto: netsim.ProtoUDP}
+	s.FlowCE = netsim.FlowKey{Src: c.IP(), Dst: e.IP(), SrcPort: 20002, DstPort: 7002, Proto: netsim.ProtoUDP}
+
+	// Fig 3 vantage points: victim throughput at S1's and S2's downstream
+	// egress ports.
+	s1, s2 := tb.Switch("S1"), tb.Switch("S2")
+	s.MeterAtS1 = transport.NewFlowMeters(simtime.Millisecond / 2)
+	s.MeterAtS2 = transport.NewFlowMeters(simtime.Millisecond / 2)
+	s.MeterAtS1.AttachToPort(egressToward(tb, s1, "S2"))
+	s.MeterAtS2.AttachToPort(egressToward(tb, s2, "S3"))
+	s.MeterAtF = transport.NewMeter(simtime.Millisecond)
+	victim := s.Victim
+	meterF := s.MeterAtF
+	f.OnReceive(func(p *netsim.Packet, now simtime.Time) {
+		if p.Flow == victim {
+			meterF.Record(p.Size, now)
+		}
+	})
+
+	s.Sender, _ = transport.StartTCP(tb.Net, a, f, transport.TCPConfig{
+		Flow:     s.Victim,
+		Priority: PrioLow,
+		Start:    0,
+		Duration: 10 * simtime.Millisecond,
+	})
+	// Two sequential 400 µs red lights at 5.0 ms and 5.4 ms.
+	transport.StartUDP(tb.Net, b, transport.UDPConfig{
+		Flow: s.FlowBD, Priority: PrioHigh, RateBps: netsim.Rate1G,
+		Start: 5 * simtime.Millisecond, Duration: 400 * simtime.Microsecond})
+	transport.StartUDP(tb.Net, c, transport.UDPConfig{
+		Flow: s.FlowCE, Priority: PrioHigh, RateBps: netsim.Rate1G,
+		Start: 5*simtime.Millisecond + 400*simtime.Microsecond, Duration: 400 * simtime.Microsecond})
+	return s, nil
+}
+
+// egressToward returns sw's egress port facing the named next switch.
+func egressToward(tb *Testbed, sw *netsim.Switch, next string) *netsim.Port {
+	nx := tb.Switch(next)
+	link, ok := tb.Topo.LinkBetween(sw.NodeID(), nx.NodeID())
+	if !ok {
+		panic(fmt.Sprintf("scenario: no link %s→%s", sw.NodeName(), next))
+	}
+	from, _, _ := tb.Topo.LinkEndpoints(link)
+	_ = from
+	for _, pt := range sw.Ports() {
+		if peer, ok := pt.Peer().Owner().(*netsim.Switch); ok && peer == nx {
+			return pt
+		}
+	}
+	panic("scenario: egress port not found")
+}
+
+// Cascades is the §2.3 workload (Figs 1(c), 4): high-priority B→D delays
+// mid-priority A→F at S1, which in turn delays low-priority TCP C→E at S2.
+type Cascades struct {
+	Testbed *Testbed
+	FlowBD  netsim.FlowKey // high priority, UDP, 10 ms
+	FlowAF  netsim.FlowKey // mid priority, UDP, 10 ms
+	FlowCE  netsim.FlowKey // low priority, TCP, 2 MB
+
+	MeterBD, MeterAF, MeterCE *transport.Meter
+	SenderCE                  *transport.TCPSender
+}
+
+// NewCascades assembles the workload. With induce=false flow B-D takes a
+// disjoint path (its traffic stays under S1), reproducing the
+// no-cascade baseline of Fig 4(a); with true it crosses S1→S2 and sets off
+// the cascade of Fig 4(b).
+func NewCascades(induce bool, opt Options) (*Cascades, error) {
+	opt.Queue = netsim.QueuePriority
+	tb, err := NewTestbed(func(net *netsim.Network, tc topo.Config) *topo.Topology {
+		return topo.Chain(net, []int{3, 2, 2}, tc)
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Cascades{Testbed: tb}
+	a, b, x := tb.Host("h1-1"), tb.Host("h1-2"), tb.Host("h1-3")
+	c, d := tb.Host("h2-1"), tb.Host("h2-2")
+	e, f := tb.Host("h3-1"), tb.Host("h3-2")
+
+	bdDst := d
+	if !induce {
+		// The paper's baseline: B-D does not contend at S1 (e.g. routed on
+		// another path). Here its stand-in destination X hangs off S1, so
+		// the S1→S2 egress never sees it.
+		bdDst = x
+	}
+	s.FlowBD = netsim.FlowKey{Src: b.IP(), Dst: bdDst.IP(), SrcPort: 20001, DstPort: 7001, Proto: netsim.ProtoUDP}
+	s.FlowAF = netsim.FlowKey{Src: a.IP(), Dst: f.IP(), SrcPort: 20002, DstPort: 7002, Proto: netsim.ProtoUDP}
+	s.FlowCE = netsim.FlowKey{Src: c.IP(), Dst: e.IP(), SrcPort: 10000, DstPort: 5001, Proto: netsim.ProtoTCP}
+
+	s.MeterBD = meterAtHost(tb, bdDst, s.FlowBD)
+	s.MeterAF = meterAtHost(tb, f, s.FlowAF)
+	s.MeterCE = meterAtHost(tb, e, s.FlowCE)
+
+	transport.StartUDP(tb.Net, b, transport.UDPConfig{
+		Flow: s.FlowBD, Priority: PrioHigh, RateBps: netsim.Rate1G,
+		Start: 0, Duration: 10 * simtime.Millisecond})
+	transport.StartUDP(tb.Net, a, transport.UDPConfig{
+		Flow: s.FlowAF, Priority: PrioMid, RateBps: netsim.Rate1G,
+		Start: 0, Duration: 10 * simtime.Millisecond})
+	s.SenderCE, _ = transport.StartTCP(tb.Net, c, e, transport.TCPConfig{
+		Flow:       s.FlowCE,
+		Priority:   PrioLow,
+		Start:      12 * simtime.Millisecond,
+		TotalBytes: 2 << 20,
+	})
+	return s, nil
+}
+
+func meterAtHost(tb *Testbed, h *netsim.Host, flow netsim.FlowKey) *transport.Meter {
+	m := transport.NewMeter(simtime.Millisecond)
+	h.OnReceive(func(p *netsim.Packet, now simtime.Time) {
+		if p.Flow == flow {
+			m.Record(p.Size, now)
+		}
+	})
+	return m
+}
+
+// LoadImbalance is the §5.4 workload (Fig 8): a malfunctioning switch
+// spreads flows across two parallel egress interfaces by *flow size* (<1 MB
+// on one, ≥1 MB on the other) instead of by hash.
+type LoadImbalance struct {
+	Testbed *Testbed
+	// Flows maps each flow to its intended total size in bytes.
+	Flows map[netsim.FlowKey]int64
+	// Suspect is the malfunctioning switch.
+	Suspect *netsim.Switch
+}
+
+// SizeBoundary is the malfunction's split point (1 MB).
+const SizeBoundary int64 = 1 << 20
+
+// NewLoadImbalance assembles the workload with n flows, each from and to a
+// distinct host pair, alternating sizes below/above the 1 MB boundary. The
+// two parallel fabric links run at 10G so flow sizes arrive intact even with
+// ~100 concurrent flows (the paper's testbed spreads flows over 96 servers).
+func NewLoadImbalance(n int, opt Options) (*LoadImbalance, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("scenario: need ≥ 2 flows")
+	}
+	opt.Queue = netsim.QueueFIFO
+	tb, err := NewTestbed(func(net *netsim.Network, tc topo.Config) *topo.Topology {
+		tc.FabricRateBps = netsim.Rate10G
+		return topo.ParallelLinks(net, n, n, 2, tc)
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &LoadImbalance{Testbed: tb, Flows: make(map[netsim.FlowKey]int64)}
+	s.Suspect = tb.Switch("SL")
+
+	// The malfunction: route by known flow size instead of hash. Ports 0
+	// and 1 of SL are the two parallel fabric links.
+	sizeOf := make(map[netsim.FlowKey]int64)
+	s.Suspect.RouteOverride = func(sw *netsim.Switch, p *netsim.Packet) (int, bool) {
+		sz, ok := sizeOf[p.Flow]
+		if !ok {
+			return 0, false
+		}
+		if sz < SizeBoundary {
+			return 0, true
+		}
+		return 1, true
+	}
+
+	rate := int64(150_000_000)
+	for i := 0; i < n; i++ {
+		src := tb.Host(fmt.Sprintf("L%d", i+1))
+		dst := tb.Host(fmt.Sprintf("R%d", i+1))
+		var size int64
+		if i%2 == 0 {
+			size = 128<<10 + int64(i)*(4<<10) // small flows, well under 1 MB
+		} else {
+			size = 2<<20 + int64(i)*(16<<10) // large flows, above 1 MB
+		}
+		flow := netsim.FlowKey{Src: src.IP(), Dst: dst.IP(),
+			SrcPort: uint16(30000 + i), DstPort: 5001, Proto: netsim.ProtoUDP}
+		s.Flows[flow] = size
+		sizeOf[flow] = size
+		duration := simtime.Time(size * 8 * int64(simtime.Second) / rate)
+		transport.StartUDP(tb.Net, src, transport.UDPConfig{
+			Flow: flow, RateBps: rate, Start: 0, Duration: duration})
+	}
+	return s, nil
+}
+
+// MaxFlowDuration returns how long the longest flow transmits — run the
+// testbed at least this long before diagnosing.
+func (s *LoadImbalance) MaxFlowDuration() simtime.Time {
+	var max simtime.Time
+	for _, size := range s.Flows {
+		d := simtime.Time(size * 8 * int64(simtime.Second) / 150_000_000)
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TopKWorkload drives Fig 12: flows from one side of a dumbbell to
+// nRelevant of the nTotal servers on the other side, so only nRelevant
+// servers hold telemetry for the queried switch.
+type TopKWorkload struct {
+	Testbed  *Testbed
+	Queried  *netsim.Switch
+	Relevant int
+	Total    int
+}
+
+// NewTopKWorkload assembles the workload: nTotal servers exist; flows are
+// sent to the first nRelevant of them.
+func NewTopKWorkload(nRelevant, nTotal int, opt Options) (*TopKWorkload, error) {
+	if nRelevant < 1 || nRelevant > nTotal {
+		return nil, fmt.Errorf("scenario: bad relevant/total %d/%d", nRelevant, nTotal)
+	}
+	opt.Queue = netsim.QueueFIFO
+	tb, err := NewTestbed(func(net *netsim.Network, tc topo.Config) *topo.Topology {
+		return topo.Dumbbell(net, 2, nTotal, tc)
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &TopKWorkload{Testbed: tb, Queried: tb.Switch("SL"), Relevant: nRelevant, Total: nTotal}
+	src := tb.Host("L1")
+	for i := 0; i < nRelevant; i++ {
+		dst := tb.Host(fmt.Sprintf("R%d", i+1))
+		flow := netsim.FlowKey{Src: src.IP(), Dst: dst.IP(),
+			SrcPort: uint16(40000 + i), DstPort: 5001, Proto: netsim.ProtoUDP}
+		transport.StartUDP(tb.Net, src, transport.UDPConfig{
+			Flow: flow, RateBps: 20_000_000 + int64(i)*1_000_000,
+			Start: 0, Duration: 10 * simtime.Millisecond})
+	}
+	return s, nil
+}

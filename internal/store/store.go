@@ -1,0 +1,139 @@
+// Package store is the embedded flow-record store at each end host: the
+// reproduction's substitute for the MongoDB instance the paper's PathDump
+// deployment flushes records to (§6).
+//
+// It keeps records in memory behind two indexes (by flow and by traversed
+// switch) and supports snapshot/restore through encoding/gob for the
+// "flushed to local storage" behaviour.
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"switchpointer/internal/flowrec"
+	"switchpointer/internal/netsim"
+)
+
+// RecordStore indexes flow records by flow key and by traversed switch.
+type RecordStore struct {
+	recs     map[netsim.FlowKey]*flowrec.Record
+	bySwitch map[netsim.NodeID]map[netsim.FlowKey]struct{}
+}
+
+// New returns an empty store.
+func New() *RecordStore {
+	return &RecordStore{
+		recs:     make(map[netsim.FlowKey]*flowrec.Record),
+		bySwitch: make(map[netsim.NodeID]map[netsim.FlowKey]struct{}),
+	}
+}
+
+// Len returns the number of records.
+func (st *RecordStore) Len() int { return len(st.recs) }
+
+// Get returns the record for a flow, creating it if absent.
+func (st *RecordStore) Get(flow netsim.FlowKey) *flowrec.Record {
+	r, ok := st.recs[flow]
+	if !ok {
+		r = flowrec.New(flow)
+		st.recs[flow] = r
+	}
+	return r
+}
+
+// Lookup returns the record for a flow without creating it.
+func (st *RecordStore) Lookup(flow netsim.FlowKey) (*flowrec.Record, bool) {
+	r, ok := st.recs[flow]
+	return r, ok
+}
+
+// Reindex must be called after a record's path may have changed so the
+// switch index stays consistent.
+func (st *RecordStore) Reindex(r *flowrec.Record) {
+	for _, sw := range r.Path {
+		m, ok := st.bySwitch[sw]
+		if !ok {
+			m = make(map[netsim.FlowKey]struct{})
+			st.bySwitch[sw] = m
+		}
+		m[r.Flow] = struct{}{}
+	}
+}
+
+// BySwitch returns all records whose path visits sw, in deterministic
+// (flow-key-sorted) order.
+func (st *RecordStore) BySwitch(sw netsim.NodeID) []*flowrec.Record {
+	keys, ok := st.bySwitch[sw]
+	if !ok {
+		return nil
+	}
+	out := make([]*flowrec.Record, 0, len(keys))
+	for k := range keys {
+		if r, live := st.recs[k]; live && r.Traverses(sw) {
+			out = append(out, r)
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+// All returns every record in deterministic order.
+func (st *RecordStore) All() []*flowrec.Record {
+	out := make([]*flowrec.Record, 0, len(st.recs))
+	for _, r := range st.recs {
+		out = append(out, r)
+	}
+	sortRecords(out)
+	return out
+}
+
+func sortRecords(rs []*flowrec.Record) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i].Flow, rs[j].Flow
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		if a.DstPort != b.DstPort {
+			return a.DstPort < b.DstPort
+		}
+		return a.Proto < b.Proto
+	})
+}
+
+// snapshot is the gob wire form.
+type snapshot struct {
+	Records []*flowrec.Record
+}
+
+// Flush serializes the store (the periodic "flush to local storage").
+func (st *RecordStore) Flush(w io.Writer) error {
+	snap := snapshot{Records: st.All()}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	return nil
+}
+
+// Load restores a store serialized with Flush, replacing current contents.
+func (st *RecordStore) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: load: %w", err)
+	}
+	st.recs = make(map[netsim.FlowKey]*flowrec.Record, len(snap.Records))
+	st.bySwitch = make(map[netsim.NodeID]map[netsim.FlowKey]struct{})
+	for _, rec := range snap.Records {
+		st.recs[rec.Flow] = rec
+		st.Reindex(rec)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"switchpointer/internal/flowrec"
+	"switchpointer/internal/header"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+)
+
+func addRecord(st *RecordStore, src, dst netsim.IPv4, path []netsim.NodeID, bytes int) *flowrec.Record {
+	flow := netsim.FlowKey{Src: src, Dst: dst, SrcPort: 1, DstPort: 2, Proto: netsim.ProtoTCP}
+	rec := st.Get(flow)
+	epochs := make([]simtime.EpochRange, len(path))
+	for i := range epochs {
+		epochs[i] = simtime.EpochRange{Lo: 5, Hi: 6}
+	}
+	rec.Absorb(&netsim.Packet{Flow: flow, Size: bytes},
+		header.Decoded{Path: path, Epochs: epochs, TagIdx: 0}, 0)
+	st.Reindex(rec)
+	return rec
+}
+
+func TestGetCreatesOnce(t *testing.T) {
+	st := New()
+	f := netsim.FlowKey{Src: 1, Dst: 2}
+	a := st.Get(f)
+	b := st.Get(f)
+	if a != b || st.Len() != 1 {
+		t.Fatalf("Get should be idempotent")
+	}
+	if _, ok := st.Lookup(netsim.FlowKey{Src: 9}); ok {
+		t.Fatalf("Lookup should not create")
+	}
+}
+
+func TestBySwitchIndex(t *testing.T) {
+	st := New()
+	addRecord(st, 1, 2, []netsim.NodeID{10, 11}, 100)
+	addRecord(st, 3, 4, []netsim.NodeID{11, 12}, 200)
+	addRecord(st, 5, 6, []netsim.NodeID{13}, 300)
+	if got := st.BySwitch(11); len(got) != 2 {
+		t.Fatalf("BySwitch(11) = %d records", len(got))
+	}
+	if got := st.BySwitch(13); len(got) != 1 || got[0].Bytes != 300 {
+		t.Fatalf("BySwitch(13) wrong")
+	}
+	if st.BySwitch(99) != nil {
+		t.Fatalf("unknown switch should return nil")
+	}
+}
+
+func TestBySwitchDeterministicOrder(t *testing.T) {
+	st := New()
+	addRecord(st, 9, 2, []netsim.NodeID{7}, 1)
+	addRecord(st, 1, 2, []netsim.NodeID{7}, 2)
+	addRecord(st, 5, 2, []netsim.NodeID{7}, 3)
+	got := st.BySwitch(7)
+	if len(got) != 3 || got[0].Flow.Src != 1 || got[1].Flow.Src != 5 || got[2].Flow.Src != 9 {
+		t.Fatalf("order not deterministic: %v", got)
+	}
+}
+
+func TestAll(t *testing.T) {
+	st := New()
+	addRecord(st, 1, 2, []netsim.NodeID{1}, 10)
+	addRecord(st, 3, 4, []netsim.NodeID{2}, 20)
+	if len(st.All()) != 2 {
+		t.Fatalf("All = %d", len(st.All()))
+	}
+}
+
+func TestFlushLoadRoundTrip(t *testing.T) {
+	st := New()
+	addRecord(st, 1, 2, []netsim.NodeID{10, 11}, 100)
+	addRecord(st, 3, 4, []netsim.NodeID{11}, 200)
+	var buf bytes.Buffer
+	if err := st.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New()
+	if err := st2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 2 {
+		t.Fatalf("loaded %d records", st2.Len())
+	}
+	if got := st2.BySwitch(11); len(got) != 2 {
+		t.Fatalf("index not rebuilt: %d", len(got))
+	}
+	rec, ok := st2.Lookup(netsim.FlowKey{Src: 1, Dst: 2, SrcPort: 1, DstPort: 2, Proto: netsim.ProtoTCP})
+	if !ok || rec.Bytes != 100 {
+		t.Fatalf("record lost in round trip")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	st := New()
+	if err := st.Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatalf("garbage should error")
+	}
+}

@@ -1,0 +1,180 @@
+// Package switchagent implements the switch side of SwitchPointer: the data
+// plane pipeline (one MPH lookup + k-level pointer update + telemetry tag
+// push per forwarded packet) and the control-plane agent that rotates pointer
+// slots at epoch boundaries, pushes sealed top-level slots to persistent
+// storage, and serves the analyzer's pointer pulls (§4.1).
+package switchagent
+
+import (
+	"fmt"
+
+	"switchpointer/internal/bitset"
+	"switchpointer/internal/header"
+	"switchpointer/internal/mph"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/pointer"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/topo"
+)
+
+// Config parameterizes one switch agent.
+type Config struct {
+	Pointer pointer.Config // α, k, host-bitmap width
+	Mode    header.Mode
+	Params  header.Params
+	// RuleUpdateInterval is the commodity epoch-rule constraint (§4.1.3);
+	// zero = software switch (rule tracks every epoch).
+	RuleUpdateInterval simtime.Time
+}
+
+// Agent runs SwitchPointer on one switch.
+type Agent struct {
+	sw  *netsim.Switch
+	net *netsim.Network
+	tp  *topo.Topology
+	cfg Config
+
+	mphTable *mph.Table
+	ptr      *pointer.Structure
+	emb      *header.Embedder
+
+	// ControlStore accumulates pushed top-level slots — the persistent,
+	// off-chip history for offline diagnosis.
+	ControlStore []pointer.Slot
+
+	// PointerPulls counts analyzer pull requests served.
+	PointerPulls uint64
+}
+
+// New creates the agent, installs its pipeline stage on the switch, and
+// schedules epoch-boundary rotation on the switch's local clock.
+func New(net *netsim.Network, tp *topo.Topology, sw *netsim.Switch, cfg Config) (*Agent, error) {
+	a := &Agent{sw: sw, net: net, tp: tp, cfg: cfg}
+	ptr, err := pointer.New(cfg.Pointer, func(s pointer.Slot) {
+		a.ControlStore = append(a.ControlStore, s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.ptr = ptr
+	a.emb = &header.Embedder{
+		Topo:               tp,
+		Mode:               cfg.Mode,
+		Params:             cfg.Params,
+		RuleUpdateInterval: cfg.RuleUpdateInterval,
+	}
+	a.ptr.Advance(sw.Clock.EpochAt(net.Now(), cfg.Pointer.Alpha))
+	sw.Pipeline = append(sw.Pipeline, a.stage)
+	a.scheduleEpochTicks()
+	return a, nil
+}
+
+// InstallMPH distributes a freshly built minimal perfect hash function to
+// this switch (the analyzer does this whenever the end-host population
+// changes permanently, §4.3).
+func (a *Agent) InstallMPH(t *mph.Table) { a.mphTable = t }
+
+// MPH returns the installed hash table (nil before InstallMPH).
+func (a *Agent) MPH() *mph.Table { return a.mphTable }
+
+// Switch returns the switch this agent manages.
+func (a *Agent) Switch() *netsim.Switch { return a.sw }
+
+// Pointer returns the hierarchical pointer structure (for tests and
+// accounting).
+func (a *Agent) Pointer() *pointer.Structure { return a.ptr }
+
+// Embedder returns the telemetry embedder (for accounting).
+func (a *Agent) Embedder() *header.Embedder { return a.emb }
+
+// stage is the per-packet SwitchPointer datapath.
+func (a *Agent) stage(sw *netsim.Switch, p *netsim.Packet, in, out *netsim.Port, now simtime.Time) {
+	a.ensureEpoch(now)
+	if a.mphTable != nil {
+		// ONE hash operation per packet; k parallel bit sets.
+		a.ptr.Touch(a.mphTable.Lookup(uint32(p.Flow.Dst)))
+	}
+	a.emb.Embed(sw, p, out, now)
+}
+
+// ensureEpoch lazily advances the pointer structure to the switch's current
+// local epoch (a backstop for the timer-driven rotation).
+func (a *Agent) ensureEpoch(now simtime.Time) {
+	e := a.sw.Clock.EpochAt(now, a.cfg.Pointer.Alpha)
+	if e > a.ptr.CurrentEpoch() {
+		a.ptr.Advance(e)
+	}
+}
+
+// scheduleEpochTicks arranges rotation exactly at the switch's local epoch
+// boundaries (which differ across switches because clocks drift).
+func (a *Agent) scheduleEpochTicks() {
+	alpha := a.cfg.Pointer.Alpha
+	now := a.net.Now()
+	local := a.sw.Clock.Local(now)
+	nextLocal := (local/alpha + 1) * alpha
+	firstTick := now + (nextLocal - local)
+	a.net.Engine.AtWeak(firstTick, func() {
+		a.ensureEpoch(a.net.Now())
+		a.net.Engine.EveryWeak(alpha, func() { a.ensureEpoch(a.net.Now()) })
+	})
+}
+
+// LocalEpochAt converts a true time to this switch's local epoch.
+func (a *Agent) LocalEpochAt(t simtime.Time) simtime.Epoch {
+	return a.sw.Clock.EpochAt(t, a.cfg.Pointer.Alpha)
+}
+
+// PullResult is the answer to an analyzer pointer pull.
+type PullResult struct {
+	Hosts  *bitset.Set
+	Info   pointer.QueryResult
+	Source string // "live" or "control-store"
+}
+
+// PullPointers serves the analyzer: the union of end-host bits for the
+// requested epoch range, from the finest live level that covers it, falling
+// back to the control store's pushed history for older windows.
+func (a *Agent) PullPointers(r simtime.EpochRange) PullResult {
+	a.ensureEpoch(a.net.Now())
+	a.PointerPulls++
+	bits, info := a.ptr.Query(r)
+	if info.Covered {
+		return PullResult{Hosts: bits, Info: info, Source: "live"}
+	}
+	// Offline path: merge pushed top-level history.
+	merged := bits
+	found := info.Slots > 0
+	for _, s := range a.ControlStore {
+		if s.Epochs.Overlaps(r) {
+			merged.UnionWith(s.Bits)
+			found = true
+		}
+	}
+	src := "control-store"
+	if !found {
+		src = "none"
+	}
+	return PullResult{Hosts: merged, Info: info, Source: src}
+}
+
+// SlotsAt exposes the pull-model access to raw slots at a given level.
+func (a *Agent) SlotsAt(level int, r simtime.EpochRange) []pointer.Slot {
+	a.PointerPulls++
+	return a.ptr.SlotsAt(level, r)
+}
+
+// MemoryBytes reports the agent's switch-memory footprint: pointer sets plus
+// the installed MPH (the §6.1 quantities).
+func (a *Agent) MemoryBytes() int {
+	m := a.ptr.MemoryBytes()
+	if a.mphTable != nil {
+		m += a.mphTable.SizeBytes()
+	}
+	return m
+}
+
+// String describes the agent.
+func (a *Agent) String() string {
+	return fmt.Sprintf("switchagent(%s, α=%v, k=%d)", a.sw.NodeName(), a.cfg.Pointer.Alpha, a.cfg.Pointer.K)
+}

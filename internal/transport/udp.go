@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+)
+
+// UDPConfig describes a constant-rate UDP flow (the paper's burst generators:
+// each burst batch is m such flows lasting 1 ms).
+type UDPConfig struct {
+	Flow     netsim.FlowKey
+	Priority uint8
+	RateBps  int64        // sending rate
+	PktSize  int          // on-wire packet size (default 1500)
+	Start    simtime.Time // absolute start time
+	Duration simtime.Time // how long to transmit
+}
+
+// UDPSource paces packets of a single UDP flow onto its host NIC.
+type UDPSource struct {
+	net  *netsim.Network
+	host *netsim.Host
+	cfg  UDPConfig
+
+	Sent     uint64 // packets emitted
+	SentByte uint64
+}
+
+// StartUDP schedules a UDP flow from the given host. The source emits
+// back-to-back packets at the configured rate between Start and
+// Start+Duration.
+func StartUDP(net *netsim.Network, host *netsim.Host, cfg UDPConfig) *UDPSource {
+	if cfg.PktSize == 0 {
+		cfg.PktSize = 1500
+	}
+	if cfg.RateBps <= 0 {
+		panic("transport: UDP rate must be positive")
+	}
+	if cfg.Flow.Proto == 0 {
+		cfg.Flow.Proto = netsim.ProtoUDP
+	}
+	s := &UDPSource{net: net, host: host, cfg: cfg}
+	gap := simtime.Time(int64(cfg.PktSize) * 8 * int64(simtime.Second) / cfg.RateBps)
+	end := cfg.Start + cfg.Duration
+	var emit func()
+	emit = func() {
+		now := net.Now()
+		if now >= end {
+			return
+		}
+		s.send(now)
+		net.Engine.At(now+gap, emit)
+	}
+	net.Engine.At(cfg.Start, emit)
+	return s
+}
+
+func (s *UDPSource) send(now simtime.Time) {
+	p := &netsim.Packet{
+		ID:       s.net.AllocPacketID(),
+		Flow:     s.cfg.Flow,
+		Priority: s.cfg.Priority,
+		Size:     s.cfg.PktSize,
+		Payload:  s.cfg.PktSize - 28, // IP+UDP headers
+		SentAt:   now,
+	}
+	s.Sent++
+	s.SentByte += uint64(p.Size)
+	s.host.Send(p)
+}
+
+// Config returns the source configuration.
+func (s *UDPSource) Config() UDPConfig { return s.cfg }

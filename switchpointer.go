@@ -1,0 +1,217 @@
+// Package switchpointer is a from-scratch Go reproduction of SwitchPointer
+// (Tammana, Agarwal, Lee — "Distributed Network Monitoring and Debugging
+// with SwitchPointer", NSDI 2018).
+//
+// SwitchPointer integrates end-host telemetry collection (PathDump-style
+// agents) with in-network visibility by using switch memory as a *directory
+// service*: each switch maintains, per epoch, a hierarchical set of pointers
+// (bitmaps over a minimal perfect hash of end-host addresses) to the hosts
+// it forwarded packets to. When a host triggers a spurious event, the
+// analyzer uses those pointers to contact exactly the hosts holding relevant
+// telemetry, instead of everyone.
+//
+// This package is the public facade over the full system:
+//
+//   - a deterministic discrete-event datacenter simulator (switches with
+//     strict-priority/FIFO queues, links, hosts, TCP/UDP transports);
+//   - fat-tree / leaf-spine / chain / dumbbell topologies with
+//     CherryPick-style key-link path reconstruction;
+//   - the switch datapath: one MPH lookup + k-level pointer update +
+//     telemetry tag push per packet, with epoch rotation and top-level
+//     pushes to the control plane;
+//   - host agents decoding telemetry into flow records, millisecond
+//     triggers, and distributed query executors;
+//   - the analyzer with the paper's diagnosis procedures: priority/
+//     microburst contention, too-many-red-lights, traffic cascades, load
+//     imbalance, and top-k queries with a PathDump baseline.
+//
+// Quick start:
+//
+//	tb, err := switchpointer.NewTestbed(switchpointer.Dumbbell(4, 4), switchpointer.Options{})
+//	if err != nil { ... }
+//	// inject traffic with switchpointer.StartTCP / StartUDP ...
+//	tb.Run(110 * switchpointer.Millisecond)
+//	alert, _ := tb.AlertFor(victimFlow)
+//	diag := tb.Analyzer.DiagnoseContention(alert)
+//	fmt.Println(diag.Kind, diag.Conclusion)
+//
+// The runnable examples under examples/ and the experiment harness under
+// cmd/spbench exercise every part of this API.
+package switchpointer
+
+import (
+	"switchpointer/internal/analyzer"
+	"switchpointer/internal/header"
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/rpc"
+	"switchpointer/internal/scenario"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/topo"
+	"switchpointer/internal/transport"
+)
+
+// Re-exported core types. The facade keeps one import path for downstream
+// users while the implementation stays in focused internal packages.
+type (
+	// Time is virtual time in nanoseconds.
+	Time = simtime.Time
+	// Epoch identifies one switch epoch.
+	Epoch = simtime.Epoch
+	// EpochRange is a closed epoch interval.
+	EpochRange = simtime.EpochRange
+
+	// IPv4 is an end-host address.
+	IPv4 = netsim.IPv4
+	// FlowKey is the 5-tuple flow identity.
+	FlowKey = netsim.FlowKey
+	// Packet is a simulated packet.
+	Packet = netsim.Packet
+	// Network is the simulated fabric.
+	Network = netsim.Network
+	// Host is a simulated end host.
+	Host = netsim.Host
+	// Switch is a simulated switch.
+	Switch = netsim.Switch
+
+	// Topology is the structural view used for routing/reconstruction.
+	Topology = topo.Topology
+
+	// Options configures a testbed (epoch size α, levels k, drift bound ε,
+	// queue discipline, RPC cost model, ...).
+	Options = scenario.Options
+	// Testbed is a fully wired SwitchPointer deployment.
+	Testbed = scenario.Testbed
+
+	// Alert is a host-raised trigger event.
+	Alert = hostagent.Alert
+	// HostAgent is the end-host telemetry component.
+	HostAgent = hostagent.Agent
+
+	// Analyzer executes diagnoses.
+	Analyzer = analyzer.Analyzer
+	// Diagnosis is a contention/red-lights/cascade outcome.
+	Diagnosis = analyzer.Diagnosis
+	// Culprit is one contending flow in a diagnosis.
+	Culprit = analyzer.Culprit
+	// ImbalanceReport is the load-imbalance outcome.
+	ImbalanceReport = analyzer.ImbalanceReport
+	// TopKReport is the distributed top-k outcome.
+	TopKReport = analyzer.TopKReport
+
+	// TCPConfig and UDPConfig describe workload flows.
+	TCPConfig = transport.TCPConfig
+	UDPConfig = transport.UDPConfig
+	// Meter samples throughput/gaps.
+	Meter = transport.Meter
+
+	// CostModel is the analyzer RPC cost model.
+	CostModel = rpc.CostModel
+
+	// HeaderMode selects commodity double-tagging or INT.
+	HeaderMode = header.Mode
+)
+
+// Time units.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+)
+
+// Header modes.
+const (
+	ModeCommodity = header.ModeCommodity
+	ModeINT       = header.ModeINT
+)
+
+// Queue disciplines.
+const (
+	QueueFIFO     = netsim.QueueFIFO
+	QueuePriority = netsim.QueuePriority
+)
+
+// Diagnosis kinds.
+const (
+	KindPriorityContention = analyzer.KindPriorityContention
+	KindMicroburst         = analyzer.KindMicroburst
+	KindRedLights          = analyzer.KindRedLights
+	KindCascade            = analyzer.KindCascade
+	KindLoadImbalance      = analyzer.KindLoadImbalance
+	KindInconclusive       = analyzer.KindInconclusive
+)
+
+// Top-k query modes.
+const (
+	ModeSwitchPointer = analyzer.ModeSwitchPointer
+	ModePathDump      = analyzer.ModePathDump
+)
+
+// IP builds an IPv4 address from octets.
+func IP(a, b, c, d byte) IPv4 { return netsim.IP(a, b, c, d) }
+
+// DefaultCostModel returns RPC costs calibrated to the paper's measurements.
+func DefaultCostModel() CostModel { return rpc.DefaultCostModel() }
+
+// BuildFunc constructs a topology on a fresh network (use the shipped
+// builders below or provide your own).
+type BuildFunc = scenario.BuildFunc
+
+// Dumbbell returns a builder for two switches with hosts on both sides and
+// one shared fabric link — the "too much traffic" testbed.
+func Dumbbell(nLeft, nRight int) BuildFunc {
+	return func(net *netsim.Network, cfg topo.Config) *topo.Topology {
+		return topo.Dumbbell(net, nLeft, nRight, cfg)
+	}
+}
+
+// Chain returns a builder for a line of switches with hostsPer[i] hosts each
+// — the red-lights / cascades testbed.
+func Chain(hostsPer ...int) BuildFunc {
+	return func(net *netsim.Network, cfg topo.Config) *topo.Topology {
+		return topo.Chain(net, hostsPer, cfg)
+	}
+}
+
+// LeafSpine returns a builder for a 2-tier clos.
+func LeafSpine(nLeaf, nSpine, hostsPerLeaf int) BuildFunc {
+	return func(net *netsim.Network, cfg topo.Config) *topo.Topology {
+		return topo.LeafSpine(net, nLeaf, nSpine, hostsPerLeaf, cfg)
+	}
+}
+
+// FatTree returns a builder for a k-ary fat-tree (k even).
+func FatTree(k int) BuildFunc {
+	return func(net *netsim.Network, cfg topo.Config) *topo.Topology {
+		return topo.FatTree(net, k, cfg)
+	}
+}
+
+// ParallelLinks returns a builder for a dumbbell with parallel fabric links
+// — the load-imbalance testbed.
+func ParallelLinks(nLeft, nRight, nLinks int) BuildFunc {
+	return func(net *netsim.Network, cfg topo.Config) *topo.Topology {
+		return topo.ParallelLinks(net, nLeft, nRight, nLinks, cfg)
+	}
+}
+
+// NewTestbed assembles a complete SwitchPointer deployment on the given
+// topology: per-switch datapaths and agents, per-host agents with triggers
+// armed, the MPH directory distributed, and an analyzer.
+func NewTestbed(build BuildFunc, opt Options) (*Testbed, error) {
+	return scenario.NewTestbed(build, opt)
+}
+
+// StartTCP starts a Reno-style TCP flow between two hosts.
+func StartTCP(net *Network, src, dst *Host, cfg TCPConfig) (*transport.TCPSender, *transport.TCPReceiver) {
+	return transport.StartTCP(net, src, dst, cfg)
+}
+
+// StartUDP starts a constant-rate UDP flow from a host.
+func StartUDP(net *Network, src *Host, cfg UDPConfig) *transport.UDPSource {
+	return transport.StartUDP(net, src, cfg)
+}
+
+// NewMeter creates a throughput/gap meter with the given bucket width.
+func NewMeter(interval Time) *Meter { return transport.NewMeter(interval) }

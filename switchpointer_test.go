@@ -1,0 +1,96 @@
+package switchpointer
+
+import (
+	"testing"
+)
+
+// TestPublicAPIQuickstart walks the documented quick-start flow end to end
+// through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	tb, err := NewTestbed(Dumbbell(3, 3), Options{Queue: QueuePriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tb.Host("L1")
+	dst := tb.Host("R1")
+	victim := FlowKey{Src: src.IP(), Dst: dst.IP(), SrcPort: 10000, DstPort: 80, Proto: 6}
+	StartTCP(tb.Net, src, dst, TCPConfig{Flow: victim, Priority: 1, Duration: 100 * Millisecond})
+
+	aggSrc := tb.Host("L2")
+	aggDst := tb.Host("R2")
+	StartUDP(tb.Net, aggSrc, UDPConfig{
+		Flow:     FlowKey{Src: aggSrc.IP(), Dst: aggDst.IP(), SrcPort: 7, DstPort: 7, Proto: 17},
+		Priority: 7, RateBps: 1_000_000_000,
+		Start: 50 * Millisecond, Duration: 5 * Millisecond,
+	})
+	tb.Run(120 * Millisecond)
+
+	alert, ok := tb.AlertFor(victim)
+	if !ok {
+		t.Fatalf("no alert")
+	}
+	diag := tb.Analyzer.DiagnoseContention(alert)
+	if diag.Kind != KindPriorityContention {
+		t.Fatalf("kind = %v (%s)", diag.Kind, diag.Conclusion)
+	}
+	if len(diag.Culprits) != 1 || diag.Culprits[0].Flow.Dst != aggDst.IP() {
+		t.Fatalf("culprits = %+v", diag.Culprits)
+	}
+	if diag.Total() <= 0 || diag.Total() > 100*Millisecond {
+		t.Fatalf("diagnosis time = %v", diag.Total())
+	}
+}
+
+func TestPublicAPITopologies(t *testing.T) {
+	for name, build := range map[string]BuildFunc{
+		"dumbbell":  Dumbbell(2, 2),
+		"chain":     Chain(1, 1),
+		"leafspine": LeafSpine(2, 2, 1),
+		"fattree":   FatTree(4),
+		"parallel":  ParallelLinks(2, 2, 2),
+	} {
+		tb, err := NewTestbed(build, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tb.Topo.Hosts()) == 0 || len(tb.SwitchAgents) == 0 {
+			t.Fatalf("%s: empty testbed", name)
+		}
+	}
+}
+
+func TestPublicAPIINTMode(t *testing.T) {
+	// Eps of 1 ns ≈ perfectly synchronized clocks (0 selects the default α).
+	tb, err := NewTestbed(FatTree(4), Options{Mode: ModeINT, Eps: Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := tb.Topo.Hosts()
+	src, dst := hosts[0], hosts[15]
+	flow := FlowKey{Src: src.IP(), Dst: dst.IP(), SrcPort: 1, DstPort: 2, Proto: 17}
+	StartUDP(tb.Net, src, UDPConfig{Flow: flow, RateBps: 100_000_000, Duration: 5 * Millisecond})
+	tb.Run(20 * Millisecond)
+	rec, ok := tb.HostAgents[dst.IP()].Store.Lookup(flow)
+	if !ok {
+		t.Fatalf("no record under INT mode")
+	}
+	if len(rec.Path) != 5 {
+		t.Fatalf("INT path = %v, want 5-switch inter-pod trajectory", rec.Path)
+	}
+	// With synchronized clocks and a single-epoch transfer, INT epochs are
+	// exact at every hop.
+	for i, er := range rec.Epochs {
+		if er.Len() != 1 {
+			t.Fatalf("hop %d epochs %v not exact", i, er)
+		}
+	}
+}
+
+func TestIPHelper(t *testing.T) {
+	if IP(10, 1, 2, 3).String() != "10.1.2.3" {
+		t.Fatalf("IP helper broken")
+	}
+	if DefaultCostModel().ConnInit <= 0 {
+		t.Fatalf("cost model empty")
+	}
+}
