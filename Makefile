@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet test bench binaries verify clean
+
+all: verify
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## vet: static analysis (part of the tier-1 flow)
+vet:
+	$(GO) vet ./...
+
+## test: full test suite
+test:
+	$(GO) test ./...
+
+## bench: run every benchmark once (the paper's figures as metrics)
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## binaries: every cmd/ tool and examples/ program must compile
+binaries:
+	@mkdir -p bin
+	$(GO) build -o bin/ ./cmd/...
+	@set -e; for d in examples/*/; do \
+		echo "build $$d"; \
+		$(GO) build -o /dev/null "./$$d"; \
+	done
+
+## verify: the tier-1 gate — build, vet, test, and binary compile checks
+verify: build vet test binaries
+
+clean:
+	rm -rf bin
+	$(GO) clean -testcache

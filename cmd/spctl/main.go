@@ -1,8 +1,8 @@
 // Command spctl reproduces an operator's debugging session: it runs a
-// scenario, waits for the host trigger, and invokes the analyzer the way §3's
-// worked example describes — printing the pointer retrievals, the pruned
-// search radius, the consulted hosts, and the conclusion with its timing
-// breakdown.
+// scenario, waits on the testbed's alert stream, and executes the matching
+// query through the analyzer's unified dispatch the way §3's worked example
+// describes — printing the pointer retrievals, the pruned search radius, the
+// consulted hosts, and the conclusion with its timing breakdown.
 //
 // Usage:
 //
@@ -12,14 +12,18 @@
 //	spctl -problem cascade
 //	spctl -problem loadimbalance -n 16
 //	spctl -problem topk -n 32
+//	spctl -problem priority -timeout 50ms   # bound the query in wall time
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"switchpointer/internal/analyzer"
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/netsim"
 	"switchpointer/internal/scenario"
 	"switchpointer/internal/simtime"
 )
@@ -29,49 +33,42 @@ func main() {
 		problem = flag.String("problem", "priority", "priority | microburst | redlights | cascade | loadimbalance | topk")
 		m       = flag.Int("m", 8, "burst flows (priority/microburst)")
 		n       = flag.Int("n", 16, "servers (loadimbalance/topk)")
+		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the analyzer query (0 = none)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	switch *problem {
 	case "priority", "microburst":
 		s, err := scenario.NewTooMuchTraffic(scenario.TooMuchTrafficConfig{
 			M: *m, Microburst: *problem == "microburst"})
 		check(err)
-		tb := s.Testbed
-		tb.Run(110 * simtime.Millisecond)
-		alert, ok := tb.AlertFor(s.Victim)
-		if !ok {
-			fail("no trigger fired — nothing to debug")
-		}
+		alert := awaitAlert(s.Testbed, s.Victim, 110*simtime.Millisecond)
 		fmt.Printf("trigger: %s on %v at %v (%.2f → %.2f Gbps)\n",
 			alert.Kind, alert.Flow, alert.DetectedAt, alert.PrevGbps, alert.CurGbps)
-		printDiagnosis(tb.Analyzer.DiagnoseContention(alert))
+		printReport(run(ctx, s.Testbed.Analyzer, analyzer.ContentionQuery{Alert: alert}))
 	case "redlights":
 		s, err := scenario.NewRedLights(scenario.Options{})
 		check(err)
-		tb := s.Testbed
-		tb.Run(30 * simtime.Millisecond)
-		alert, ok := tb.AlertFor(s.Victim)
-		if !ok {
-			fail("no trigger fired")
-		}
+		alert := awaitAlert(s.Testbed, s.Victim, 30*simtime.Millisecond)
 		fmt.Printf("trigger: %s on %v at %v\n", alert.Kind, alert.Flow, alert.DetectedAt)
-		printDiagnosis(tb.Analyzer.DiagnoseContention(alert))
+		printReport(run(ctx, s.Testbed.Analyzer, analyzer.RedLightsQuery{Alert: alert}))
 	case "cascade":
 		s, err := scenario.NewCascades(true, scenario.Options{})
 		check(err)
-		tb := s.Testbed
-		tb.Run(60 * simtime.Millisecond)
-		alert, ok := tb.AlertFor(s.FlowCE)
-		if !ok {
-			fail("no trigger fired")
-		}
+		alert := awaitAlert(s.Testbed, s.FlowCE, 60*simtime.Millisecond)
 		fmt.Printf("trigger: %s on %v at %v\n", alert.Kind, alert.Flow, alert.DetectedAt)
-		d := tb.Analyzer.DiagnoseCascade(alert)
-		printDiagnosis(d)
-		if len(d.Cascade) > 1 {
+		rep := run(ctx, s.Testbed.Analyzer, analyzer.CascadeQuery{Alert: alert})
+		printReport(rep)
+		if len(rep.Cascade) > 1 {
 			fmt.Println("cascade chain:")
-			for i, f := range d.Cascade {
+			for i, f := range rep.Cascade {
 				fmt.Printf("  %d. %v\n", i, f)
 			}
 		}
@@ -79,25 +76,32 @@ func main() {
 		s, err := scenario.NewLoadImbalance(*n, scenario.Options{})
 		check(err)
 		tb := s.Testbed
-		tb.Run(s.MaxFlowDuration() + 100*simtime.Millisecond)
+		end := tb.Run(s.MaxFlowDuration() + 100*simtime.Millisecond)
+		defer tb.Close()
 		ag := tb.SwitchAgents[s.Suspect.NodeID()]
-		nowEpoch := ag.LocalEpochAt(tb.Net.Now())
-		rep := tb.Analyzer.DiagnoseLoadImbalance(s.Suspect.NodeID(),
-			simtime.EpochRange{Lo: nowEpoch - 99, Hi: nowEpoch}, tb.Net.Now())
+		nowEpoch := ag.LocalEpochAt(end)
+		rep := run(ctx, tb.Analyzer, analyzer.ImbalanceQuery{
+			Switch: s.Suspect.NodeID(),
+			Window: simtime.EpochRange{Lo: nowEpoch - 99, Hi: nowEpoch},
+			At:     end,
+		})
 		fmt.Printf("suspect switch: %s\n", s.Suspect.NodeName())
 		for _, l := range rep.Links {
 			fmt.Printf("  link %d: %d flows, sizes %d..%d B\n", l.Link, l.Flows, l.Min(), l.Max())
 		}
 		fmt.Printf("conclusion: %s\n", rep.Conclusion)
-		fmt.Printf("hosts contacted: %d, diagnosis time: %v\n", rep.HostsContacted, rep.Clock.Total())
+		fmt.Printf("hosts contacted: %d, diagnosis time: %v\n", rep.HostsContacted, rep.Total())
 	case "topk":
 		s, err := scenario.NewTopKWorkload(*n, 96, scenario.Options{})
 		check(err)
 		tb := s.Testbed
-		tb.Run(50 * simtime.Millisecond)
+		end := tb.Run(50 * simtime.Millisecond)
+		defer tb.Close()
 		window := simtime.EpochRange{Lo: 0, Hi: 10}
-		sp := tb.Analyzer.TopK(s.Queried.NodeID(), 100, window, analyzer.ModeSwitchPointer, tb.Net.Now())
-		pd := tb.Analyzer.TopK(s.Queried.NodeID(), 100, window, analyzer.ModePathDump, tb.Net.Now())
+		sp := run(ctx, tb.Analyzer, analyzer.TopKQuery{
+			Switch: s.Queried.NodeID(), K: 100, Window: window, Mode: analyzer.ModeSwitchPointer, At: end})
+		pd := run(ctx, tb.Analyzer, analyzer.TopKQuery{
+			Switch: s.Queried.NodeID(), K: 100, Window: window, Mode: analyzer.ModePathDump, At: end})
 		fmt.Printf("top-100 at %s: %d flows found\n", s.Queried.NodeName(), len(sp.Flows))
 		for i, fb := range sp.Flows {
 			if i >= 5 {
@@ -106,15 +110,36 @@ func main() {
 			}
 			fmt.Printf("  %2d. %v — %d B\n", i+1, fb.Flow, fb.Bytes)
 		}
-		fmt.Printf("SwitchPointer: %d hosts, %v\n", sp.HostsContacted, sp.Clock.Total())
-		fmt.Printf("PathDump:      %d hosts, %v\n", pd.HostsContacted, pd.Clock.Total())
+		fmt.Printf("SwitchPointer: %d hosts, %v\n", sp.HostsContacted, sp.Total())
+		fmt.Printf("PathDump:      %d hosts, %v\n", pd.HostsContacted, pd.Total())
 	default:
 		fmt.Fprintf(os.Stderr, "spctl: unknown problem %q\n", *problem)
 		os.Exit(2)
 	}
 }
 
-func printDiagnosis(d *analyzer.Diagnosis) {
+// awaitAlert subscribes to the flow's alert stream, runs the testbed to the
+// given virtual time, and returns the first alert delivered.
+func awaitAlert(tb *scenario.Testbed, flow netsim.FlowKey, until simtime.Time) hostagent.Alert {
+	alerts := tb.Subscribe(hostagent.AlertFilter{Flow: flow})
+	tb.Run(until)
+	tb.Close() // closes the stream so a missing alert is detectable
+	alert, ok := <-alerts
+	if !ok {
+		fail("no trigger fired — nothing to debug")
+	}
+	return alert
+}
+
+func run(ctx context.Context, a *analyzer.Analyzer, q analyzer.Query) *analyzer.Report {
+	rep, err := a.Run(ctx, q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spctl: query %s aborted: %v (partial report follows)\n", q.Name(), err)
+	}
+	return rep
+}
+
+func printReport(d *analyzer.Report) {
 	fmt.Printf("diagnosis: %s\n", d.Kind)
 	fmt.Printf("conclusion: %s\n", d.Conclusion)
 	fmt.Printf("search radius: %d pointer hosts, %d pruned, %d contacted\n",

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,10 +16,11 @@ import (
 
 func main() {
 	// Chain with a third host under S1 (the no-cascade alternate sink).
-	tb, err := sp.NewTestbed(sp.Chain(3, 2, 2), sp.Options{Queue: sp.QueuePriority})
+	tb, err := sp.New(sp.Chain(3, 2, 2), sp.WithQueueDiscipline(sp.QueuePriority))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tb.Close()
 	a, b := tb.Host("h1-1"), tb.Host("h1-2")
 	c, d := tb.Host("h2-1"), tb.Host("h2-2")
 	e, f := tb.Host("h3-1"), tb.Host("h3-2")
@@ -39,23 +41,29 @@ func main() {
 	sender, _ := sp.StartTCP(tb.Net, c, e, sp.TCPConfig{
 		Flow: ce, Priority: 1, Start: 12 * sp.Millisecond, TotalBytes: 2 << 20})
 
+	alerts := tb.Subscribe(sp.AlertFilter{Flow: ce})
 	tb.Run(100 * sp.Millisecond)
 	fmt.Printf("C→E (2 MB) completed at %v (uncontended: ≈29 ms)\n", sender.CompletedAt)
 
-	alert, ok := tb.AlertFor(ce)
-	if !ok {
+	var alert sp.Alert
+	select {
+	case alert = <-alerts:
+	default:
 		log.Fatal("C→E never triggered")
 	}
-	diag := tb.Analyzer.DiagnoseCascade(alert)
-	fmt.Printf("diagnosis:  %s\n", diag.Kind)
-	fmt.Printf("conclusion: %s\n", diag.Conclusion)
+	rep, err := tb.Analyzer.Run(context.Background(), sp.CascadeQuery{Alert: alert})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diagnosis:  %s\n", rep.Kind)
+	fmt.Printf("conclusion: %s\n", rep.Conclusion)
 	fmt.Println("causality chain:")
-	for i, flow := range diag.Cascade {
+	for i, flow := range rep.Cascade {
 		arrow := ""
 		if i > 0 {
 			arrow = "delayed by "
 		}
 		fmt.Printf("  %d. %s%v\n", i, arrow, flow)
 	}
-	fmt.Printf("debugging time: %v (paper budget: ≈50 ms, two rounds)\n", diag.Total())
+	fmt.Printf("debugging time: %v (paper budget: ≈50 ms, two rounds)\n", rep.Total())
 }

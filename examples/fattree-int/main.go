@@ -15,14 +15,15 @@ import (
 )
 
 func main() {
-	tb, err := sp.NewTestbed(sp.FatTree(4), sp.Options{
-		Mode:  sp.ModeINT,
-		Alpha: 5 * sp.Millisecond, // below the 15 ms commodity floor: INT allows it
-		Eps:   sp.Millisecond,
-	})
+	tb, err := sp.New(sp.FatTree(4),
+		sp.WithHeaderMode(sp.ModeINT),
+		sp.WithEpoch(5*sp.Millisecond), // below the 15 ms commodity floor: INT allows it
+		sp.WithDriftBound(sp.Millisecond),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tb.Close()
 	hosts := tb.Topo.Hosts()
 	src, dst := hosts[0], hosts[15] // pod 0 → pod 3: a 5-switch path
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,10 +15,11 @@ import (
 func main() {
 	// Dumbbell with two parallel fabric links and 8 host pairs.
 	const n = 8
-	tb, err := sp.NewTestbed(sp.ParallelLinks(n, n, 2), sp.Options{})
+	tb, err := sp.New(sp.ParallelLinks(n, n, 2))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tb.Close()
 	suspect := tb.Switch("SL")
 
 	// The malfunction: flows with a known size under 1 MB leave on port 0,
@@ -52,14 +54,20 @@ func main() {
 		}
 		sp.StartUDP(tb.Net, src, sp.UDPConfig{Flow: flow, RateBps: rate, Start: 0, Duration: dur})
 	}
-	tb.Run(maxDur + 100*sp.Millisecond)
+	end := tb.Run(maxDur + 100*sp.Millisecond)
 
 	// Operator notices diverging interface counters and investigates the
 	// most recent second of epochs.
 	ag := tb.SwitchAgents[suspect.NodeID()]
-	nowEpoch := ag.LocalEpochAt(tb.Net.Now())
-	rep := tb.Analyzer.DiagnoseLoadImbalance(suspect.NodeID(),
-		sp.EpochRange{Lo: nowEpoch - 99, Hi: nowEpoch}, tb.Net.Now())
+	nowEpoch := ag.LocalEpochAt(end)
+	rep, err := tb.Analyzer.Run(context.Background(), sp.ImbalanceQuery{
+		Switch: suspect.NodeID(),
+		Window: sp.EpochRange{Lo: nowEpoch - 99, Hi: nowEpoch},
+		At:     end,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("suspect: %s\n", suspect.NodeName())
 	for _, l := range rep.Links {
@@ -68,5 +76,5 @@ func main() {
 	}
 	fmt.Printf("separated: %v (boundary ≈ %d KB)\n", rep.Separated, rep.Boundary>>10)
 	fmt.Printf("conclusion: %s\n", rep.Conclusion)
-	fmt.Printf("hosts contacted: %d, diagnosis time: %v\n", rep.HostsContacted, rep.Clock.Total())
+	fmt.Printf("hosts contacted: %d, diagnosis time: %v\n", rep.HostsContacted, rep.Total())
 }

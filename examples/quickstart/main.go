@@ -1,9 +1,10 @@
-// Quickstart: build a SwitchPointer testbed, create a contention problem,
-// let the host trigger fire, and diagnose it — the §3 worked example in ~60
-// lines of public API.
+// Quickstart: build a SwitchPointer testbed, subscribe to the alert stream,
+// create a contention problem, and diagnose it through the unified query API
+// — the §3 worked example in ~60 lines of public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,10 +14,11 @@ import (
 func main() {
 	// A dumbbell: 3 hosts on each side of a shared 1G link, strict-priority
 	// queues, α=10ms epochs, k=3 pointer levels (all defaults).
-	tb, err := sp.NewTestbed(sp.Dumbbell(3, 3), sp.Options{Queue: sp.QueuePriority})
+	tb, err := sp.New(sp.Dumbbell(3, 3), sp.WithQueueDiscipline(sp.QueuePriority))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tb.Close()
 
 	// A long-lived low-priority TCP flow (the victim)...
 	src, dst := tb.Host("L1"), tb.Host("R1")
@@ -33,28 +35,36 @@ func main() {
 		Start: 50 * sp.Millisecond, Duration: 5 * sp.Millisecond,
 	})
 
-	// Run the virtual testbed for 120 ms.
-	tb.Run(120 * sp.Millisecond)
+	// Subscribe to the victim's alert stream, then run the virtual testbed
+	// for 120 ms.
+	alerts := tb.Subscribe(sp.AlertFilter{Flow: victim})
+	end := tb.Run(120 * sp.Millisecond)
 
 	// The victim's destination host detected the throughput collapse and
 	// raised an alert carrying <switchID, epochIDs, byte counts> tuples.
-	alert, ok := tb.AlertFor(victim)
-	if !ok {
+	var alert sp.Alert
+	select {
+	case alert = <-alerts:
+	default:
 		log.Fatal("no alert was raised")
 	}
-	fmt.Printf("trigger: %s on %v at %v (%.2f → %.2f Gbps)\n",
-		alert.Kind, alert.Flow, alert.DetectedAt, alert.PrevGbps, alert.CurGbps)
+	fmt.Printf("trigger: %s on %v at %v (%.2f → %.2f Gbps); testbed at %v\n",
+		alert.Kind, alert.Flow, alert.DetectedAt, alert.PrevGbps, alert.CurGbps, end)
 
 	// The analyzer pulls pointers from the switches on the victim's path,
-	// prunes the search radius, queries the named hosts, and correlates.
-	diag := tb.Analyzer.DiagnoseContention(alert)
-	fmt.Printf("diagnosis:  %s\n", diag.Kind)
-	fmt.Printf("conclusion: %s\n", diag.Conclusion)
-	for _, c := range diag.Culprits {
+	// prunes the search radius, queries the named hosts, and correlates —
+	// one cancellable query through the unified dispatch.
+	rep, err := tb.Analyzer.Run(context.Background(), sp.ContentionQuery{Alert: alert})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diagnosis:  %s\n", rep.Kind)
+	fmt.Printf("conclusion: %s\n", rep.Conclusion)
+	for _, c := range rep.Culprits {
 		fmt.Printf("culprit:    %v (priority %d, %d bytes in the victim's epochs)\n",
 			c.Flow, c.Priority, c.Bytes)
 	}
 	fmt.Printf("contacted %d host(s) out of %d named by pointers (%d pruned)\n",
-		diag.HostsContacted, diag.PointerHosts, diag.PrunedHosts)
-	fmt.Printf("end-to-end debugging time: %v\n", diag.Total())
+		rep.HostsContacted, rep.PointerHosts, rep.PrunedHosts)
+	fmt.Printf("end-to-end debugging time: %v\n", rep.Total())
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,10 +16,11 @@ import (
 
 func main() {
 	// Chain S1–S2–S3, two hosts per switch: A,B | C,D | E,F.
-	tb, err := sp.NewTestbed(sp.Chain(2, 2, 2), sp.Options{Queue: sp.QueuePriority})
+	tb, err := sp.New(sp.Chain(2, 2, 2), sp.WithQueueDiscipline(sp.QueuePriority))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tb.Close()
 	a, b := tb.Host("h1-1"), tb.Host("h1-2")
 	c, d := tb.Host("h2-1"), tb.Host("h2-2")
 	e, f := tb.Host("h3-1"), tb.Host("h3-2")
@@ -40,22 +42,28 @@ func main() {
 		Start: 5*sp.Millisecond + 400*sp.Microsecond, Duration: 400 * sp.Microsecond,
 	})
 
+	alerts := tb.Subscribe(sp.AlertFilter{Flow: victim})
 	tb.Run(30 * sp.Millisecond)
 
-	alert, ok := tb.AlertFor(victim)
-	if !ok {
+	var alert sp.Alert
+	select {
+	case alert = <-alerts:
+	default:
 		log.Fatal("destination F never triggered")
 	}
 	fmt.Printf("trigger at F: %v (%.2f → %.2f Gbps)\n", alert.DetectedAt, alert.PrevGbps, alert.CurGbps)
 
-	diag := tb.Analyzer.DiagnoseContention(alert)
-	fmt.Printf("diagnosis:  %s\n", diag.Kind)
-	fmt.Printf("conclusion: %s\n", diag.Conclusion)
+	rep, err := tb.Analyzer.Run(context.Background(), sp.RedLightsQuery{Alert: alert})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diagnosis:  %s\n", rep.Kind)
+	fmt.Printf("conclusion: %s\n", rep.Conclusion)
 	fmt.Println("per-switch culprits (the spatial correlation):")
-	for swID, culprits := range diag.PerSwitch {
+	for swID, culprits := range rep.PerSwitch {
 		for _, c := range culprits {
 			fmt.Printf("  switch %d: %v (priority %d)\n", swID, c.Flow, c.Priority)
 		}
 	}
-	fmt.Printf("debugging time: %v (paper budget: ≈30 ms)\n", diag.Total())
+	fmt.Printf("debugging time: %v (paper budget: ≈30 ms)\n", rep.Total())
 }

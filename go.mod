@@ -1,0 +1,3 @@
+module switchpointer
+
+go 1.24

@@ -1,6 +1,7 @@
 package switchpointer
 
 import (
+	"context"
 	"testing"
 
 	"switchpointer/internal/analyzer"
@@ -151,25 +152,28 @@ func TestIntegrationHostChurn(t *testing.T) {
 	// R2's bit remains set for the old epochs — stale but harmless: the
 	// analyzer simply contacts a host that reports no matching records.
 	agR2 := tb.HostAgents[r2.IP()]
-	recs := agR2.QueryHeaders(hostagent.HeadersQuery{Switch: sl.NodeID(), Epochs: simtime.EpochRange{Lo: 1000, Hi: 1001}})
+	recs := agR2.QueryHeaders(context.Background(), hostagent.HeadersQuery{Switch: sl.NodeID(), Epochs: simtime.EpochRange{Lo: 1000, Hi: 1001}})
 	if len(recs) != 0 {
 		t.Fatalf("silent host returned future records")
 	}
 
 	// Membership change: rebuild the directory without R2 and redistribute
-	// (the §4.3 responsibility).
+	// (the §4.3 responsibility) — swapping the backend behind the Directory
+	// seam without touching the analyzer's procedures.
 	var ips []netsim.IPv4
 	for _, h := range tb.Topo.Hosts() {
 		if h.IP() != r2.IP() {
 			ips = append(ips, h.IP())
 		}
 	}
-	newDir, err := analyzer.BuildDirectory(ips)
+	newDir, err := analyzer.NewMemoryDirectory(ips, tb.SwitchAgents)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tb.Analyzer.Dir = newDir
-	tb.Analyzer.DistributeMPH()
+	if err := newDir.Distribute(); err != nil {
+		t.Fatal(err)
+	}
 
 	// New traffic after the rebuild lands at the right indices.
 	StartUDP(tb.Net, src, UDPConfig{

@@ -1,6 +1,8 @@
 package analyzer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,20 +10,19 @@ import (
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
-	"switchpointer/internal/switchagent"
 	"switchpointer/internal/topo"
 )
 
-// Analyzer coordinates switch agents and host agents to debug network
-// events. It can be colocated with an end host or run on a separate
-// controller; here it holds direct references to the simulated agents and a
-// virtual-time cost model standing in for the flask RPC fabric.
+// Analyzer coordinates the pointer directory and host agents to debug
+// network events. It can be colocated with an end host or run on a separate
+// controller. All switch pointer state is reached through the Directory
+// backend; host telemetry through the host agents; communication costs are
+// charged to a virtual-time cost model standing in for the flask RPC fabric.
 type Analyzer struct {
-	Topo     *topo.Topology
-	Dir      *Directory
-	Switches map[netsim.NodeID]*switchagent.Agent
-	Hosts    map[netsim.IPv4]*hostagent.Agent
-	Cost     rpc.CostModel
+	Topo  *topo.Topology
+	Dir   Directory
+	Hosts map[netsim.IPv4]*hostagent.Agent
+	Cost  rpc.CostModel
 
 	// DisablePruning turns off the §4.3 search-radius reduction (ablation).
 	DisablePruning bool
@@ -30,13 +31,11 @@ type Analyzer struct {
 	DetectionLatency simtime.Time
 }
 
-// New assembles an analyzer over the given agents.
-func New(tp *topo.Topology, dir *Directory, sws map[netsim.NodeID]*switchagent.Agent,
-	hosts map[netsim.IPv4]*hostagent.Agent, cost rpc.CostModel) *Analyzer {
+// New assembles an analyzer over the given directory backend and host agents.
+func New(tp *topo.Topology, dir Directory, hosts map[netsim.IPv4]*hostagent.Agent, cost rpc.CostModel) *Analyzer {
 	return &Analyzer{
 		Topo:             tp,
 		Dir:              dir,
-		Switches:         sws,
 		Hosts:            hosts,
 		Cost:             cost,
 		DetectionLatency: simtime.Millisecond,
@@ -44,11 +43,9 @@ func New(tp *topo.Topology, dir *Directory, sws map[netsim.NodeID]*switchagent.A
 }
 
 // DistributeMPH installs the directory's hash table on every switch (§4.3).
-func (a *Analyzer) DistributeMPH() {
-	for _, sw := range a.Switches {
-		sw.InstallMPH(a.Dir.Table())
-	}
-}
+//
+// Deprecated: call Dir.Distribute directly.
+func (a *Analyzer) DistributeMPH() { _ = a.Dir.Distribute() }
 
 // Culprit is one flow found to have contended with the victim.
 type Culprit struct {
@@ -65,47 +62,19 @@ type Culprit struct {
 	Overlap simtime.EpochRange
 }
 
-// Kind classifies a diagnosis outcome.
+// Kind classifies a query outcome.
 type Kind string
 
-// Diagnosis kinds.
+// Outcome kinds.
 const (
 	KindPriorityContention Kind = "priority-contention"
 	KindMicroburst         Kind = "microburst-contention"
 	KindRedLights          Kind = "too-many-red-lights"
 	KindCascade            Kind = "traffic-cascade"
 	KindLoadImbalance      Kind = "load-imbalance"
+	KindTopK               Kind = "top-k"
 	KindInconclusive       Kind = "inconclusive"
 )
-
-// Diagnosis is the analyzer's answer for one alert.
-type Diagnosis struct {
-	Alert hostagent.Alert
-	Kind  Kind
-	// Culprits across all switches, highest impact first.
-	Culprits []Culprit
-	// PerSwitch groups culprits by the switch where they contended with the
-	// victim (the red-lights spatial correlation).
-	PerSwitch map[netsim.NodeID][]Culprit
-
-	// Cascade is the causality chain for traffic-cascade diagnoses: element
-	// i+1 delayed element i; element 0 is the original victim.
-	Cascade []netsim.FlowKey
-
-	// Search-radius accounting.
-	PointerHosts   int // hosts named by the pulled pointers
-	PrunedHosts    int // dropped by topology pruning
-	HostsContacted int
-
-	// Timing breakdown in virtual time (Fig 7): detection, alert,
-	// pointer-retrieval, diagnosis.
-	Clock *rpc.Clock
-
-	Conclusion string
-}
-
-// Total returns the end-to-end debugging time.
-func (d *Diagnosis) Total() simtime.Time { return d.Clock.Total() }
 
 // hostNames returns stable server identifiers for cost accounting.
 func hostNames(ips []netsim.IPv4) []string {
@@ -117,21 +86,27 @@ func hostNames(ips []netsim.IPv4) []string {
 }
 
 // pullCandidates retrieves and decodes pointers for every (switch, epochs)
-// tuple, returning per-switch candidate destination sets.
-func (a *Analyzer) pullCandidates(clock *rpc.Clock, tuples []hostagent.AlertTuple) map[netsim.NodeID][]netsim.IPv4 {
+// tuple through the directory backend, returning per-switch candidate
+// destination sets. Unknown switches are skipped; a ctx error or backend
+// failure aborts the remaining pulls and is returned. The pulls already
+// made are charged to the clock either way.
+func (a *Analyzer) pullCandidates(ctx context.Context, clock *rpc.Clock, tuples []hostagent.AlertTuple) (map[netsim.NodeID][]netsim.IPv4, error) {
 	out := make(map[netsim.NodeID][]netsim.IPv4, len(tuples))
 	pulled := 0
 	for _, tup := range tuples {
-		ag, ok := a.Switches[tup.Switch]
-		if !ok {
-			continue
+		hosts, err := a.Dir.Hosts(ctx, tup.Switch, tup.Epochs)
+		if err != nil {
+			if errors.Is(err, ErrUnknownSwitch) {
+				continue // skip the tuple, as before
+			}
+			clock.PointersPulled(pulled)
+			return out, err
 		}
-		res := ag.PullPointers(tup.Epochs)
-		out[tup.Switch] = a.Dir.Decode(res.Hosts)
+		out[tup.Switch] = hosts
 		pulled++
 	}
 	clock.PointersPulled(pulled)
-	return out
+	return out, nil
 }
 
 // pruneForVictim applies the search-radius reduction: a candidate host is
@@ -212,5 +187,5 @@ func dedupIPs(lists ...[]netsim.IPv4) []netsim.IPv4 {
 }
 
 func (a *Analyzer) String() string {
-	return fmt.Sprintf("analyzer(%d switches, %d hosts)", len(a.Switches), len(a.Hosts))
+	return fmt.Sprintf("analyzer(%d directory hosts, %d agents)", a.Dir.Len(), len(a.Hosts))
 }

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 
 	"switchpointer/internal/hostagent"
@@ -11,14 +12,23 @@ import (
 // maxCascadeDepth bounds how far back the analyzer chases causality.
 const maxCascadeDepth = 4
 
-// DiagnoseCascade debugs a traffic-cascade suspicion (§5.3): after finding
-// the victim's direct aggressor, it recursively examines the aggressor's own
-// path and epochs — "whether or not the flow was affected by some other
-// flows" — building the causality chain (e.g. C-E was delayed by A-F, which
-// was itself delayed by B-D). This needs both spatial correlation (pointers
-// across switches) and temporal correlation (overlapping epochs), including
-// telemetry of flows that never triggered any alert themselves.
-func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Diagnosis {
+// DiagnoseCascade debugs a traffic-cascade suspicion without cancellation
+// support.
+//
+// Deprecated: use Run with a CascadeQuery.
+func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Report {
+	rep, _ := a.Run(context.Background(), CascadeQuery{Alert: alert})
+	return rep
+}
+
+// diagnoseCascade is the §5.3 procedure: after finding the victim's direct
+// aggressor, it recursively examines the aggressor's own path and epochs —
+// "whether or not the flow was affected by some other flows" — building the
+// causality chain (e.g. C-E was delayed by A-F, which was itself delayed by
+// B-D). This needs both spatial correlation (pointers across switches) and
+// temporal correlation (overlapping epochs), including telemetry of flows
+// that never triggered any alert themselves.
+func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (*Report, error) {
 	clock := rpc.NewClock(a.Cost, alert.DetectedAt)
 	clock.Spend("detection", a.DetectionLatency)
 	clock.AlertDelivered()
@@ -26,9 +36,9 @@ func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Diagnosis {
 	chain := []netsim.FlowKey{alert.Flow}
 	visited := map[netsim.FlowKey]bool{alert.Flow: true}
 
-	first := a.contentionRound(clock, alert)
+	first, err := a.contentionRound(ctx, clock, alert)
 	agg := first
-	result := &Diagnosis{
+	result := &Report{
 		Alert:          alert,
 		Clock:          clock,
 		PerSwitch:      first.PerSwitch,
@@ -36,6 +46,12 @@ func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Diagnosis {
 		PointerHosts:   first.PointerHosts,
 		PrunedHosts:    first.PrunedHosts,
 		HostsContacted: first.HostsContacted,
+		Consulted:      first.Consulted,
+		Cascade:        chain,
+		Kind:           KindInconclusive,
+	}
+	if err != nil {
+		return aborted(result, ctx, err, "first contention round")
 	}
 
 	for depth := 0; depth < maxCascadeDepth; depth++ {
@@ -49,24 +65,35 @@ func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Diagnosis {
 		visited[top.Flow] = true
 		chain = append(chain, top.Flow)
 
+		if ctx.Err() != nil {
+			result.Cascade = chain
+			return cancelled(result, ctx, fmt.Sprintf("cascade round %d", depth+1))
+		}
+
 		// Was the aggressor itself delayed? Examine pointers along ITS path
 		// during ITS epochs. Its telemetry lives at its destination host.
 		synth, ok := a.syntheticAlert(clock, top.Flow)
 		if !ok {
 			break
 		}
-		next := a.contentionRound(clock, synth)
+		next, err := a.contentionRound(ctx, clock, synth)
 		// Keep only strictly higher-priority culprits: a flow can only have
 		// been delayed by traffic its queue had to yield to.
 		next.Culprits = filterAbovePriority(next.Culprits, top.Priority)
 		result.PointerHosts += next.PointerHosts
 		result.PrunedHosts += next.PrunedHosts
 		result.HostsContacted += next.HostsContacted
+		result.Consulted = dedupIPs(result.Consulted, next.Consulted)
 		for sw, cs := range next.PerSwitch {
 			for _, c := range filterAbovePriority(cs, top.Priority) {
 				result.PerSwitch[sw] = appendCulprit(result.PerSwitch[sw], c)
 				result.Culprits = appendCulprit(result.Culprits, c)
 			}
+		}
+		if err != nil {
+			result.Cascade = chain
+			sortCulprits(result.Culprits)
+			return aborted(result, ctx, err, fmt.Sprintf("cascade round %d", depth+1))
 		}
 		agg = next
 	}
@@ -83,7 +110,7 @@ func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Diagnosis {
 		result.Kind = KindInconclusive
 		result.Conclusion = "no contending flows found"
 	}
-	return result
+	return result, nil
 }
 
 // syntheticAlert builds the alert-equivalent tuples for a flow from its

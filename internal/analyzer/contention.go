@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 
 	"switchpointer/internal/hostagent"
@@ -9,9 +10,18 @@ import (
 	"switchpointer/internal/simtime"
 )
 
-// DiagnoseContention debugs a throughput-drop or timeout alert: the §5.1
-// "too much traffic" procedure, which also covers §5.2 "too many red lights"
-// (the same machinery, with culprits grouped per switch).
+// DiagnoseContention debugs a throughput-drop or timeout alert without
+// cancellation support.
+//
+// Deprecated: use Run with a ContentionQuery.
+func (a *Analyzer) DiagnoseContention(alert hostagent.Alert) *Report {
+	rep, _ := a.Run(context.Background(), ContentionQuery{Alert: alert})
+	return rep
+}
+
+// diagnoseContention is the §5.1 "too much traffic" procedure, which also
+// covers §5.2 "too many red lights" (the same machinery, with culprits
+// grouped per switch).
 //
 // Steps, each charged to the virtual-time clock:
 //  1. the destination host detected the problem (detection);
@@ -22,25 +32,27 @@ import (
 //  4. the hosts named by the pointers — after topology pruning — were
 //     queried for matching headers, and the returned records correlated
 //     with the victim (diagnosis).
-func (a *Analyzer) DiagnoseContention(alert hostagent.Alert) *Diagnosis {
+func (a *Analyzer) diagnoseContention(ctx context.Context, alert hostagent.Alert) (*Report, error) {
 	clock := rpc.NewClock(a.Cost, alert.DetectedAt)
 	clock.Spend("detection", a.DetectionLatency)
 	clock.AlertDelivered()
-	return a.contentionRound(clock, alert)
+	return a.contentionRound(ctx, clock, alert)
 }
 
 // contentionRound performs one pull–prune–query–correlate round on an
-// existing analyzer clock. DiagnoseCascade chains several rounds on one
+// existing analyzer clock. diagnoseCascade chains several rounds on one
 // clock to follow causality backwards.
-func (a *Analyzer) contentionRound(clock *rpc.Clock, alert hostagent.Alert) *Diagnosis {
-	d := &Diagnosis{Alert: alert, Clock: clock, PerSwitch: make(map[netsim.NodeID][]Culprit)}
+func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert hostagent.Alert) (*Report, error) {
+	d := &Report{Alert: alert, Clock: clock, PerSwitch: make(map[netsim.NodeID][]Culprit), Kind: KindInconclusive}
 	if len(alert.Tuples) == 0 {
-		d.Kind = KindInconclusive
 		d.Conclusion = "alert carried no telemetry tuples"
-		return d
+		return d, nil
 	}
 
-	cands := a.pullCandidates(clock, alert.Tuples)
+	cands, err := a.pullCandidates(ctx, clock, alert.Tuples)
+	if err != nil {
+		return aborted(d, ctx, err, "pointer retrieval")
+	}
 
 	// Prune per switch, then merge the survivors into the contact set.
 	perSwitchKept := make(map[netsim.NodeID][]netsim.IPv4, len(cands))
@@ -58,13 +70,21 @@ func (a *Analyzer) contentionRound(clock *rpc.Clock, alert hostagent.Alert) *Dia
 	d.PointerHosts = pointerTotal
 	d.PrunedHosts = prunedTotal
 	d.HostsContacted = len(contact)
+	d.Consulted = contact
 
 	// Query each surviving host for headers matching any (switch, epochs)
-	// tuple of the victim, and correlate.
+	// tuple of the victim, and correlate. A cancellation mid-round still
+	// charges the hosts queried so far, so the partial Report carries the
+	// cost actually incurred.
 	recCounts := make([]int, 0, len(contact))
+	victimPrio := victimPriority(ctx, a, alert)
 	sawHigher := false
 	sawEqual := false
 	for _, ip := range contact {
+		if ctx.Err() != nil {
+			chargePartial(d, "diagnosis", contact, recCounts)
+			return cancelled(d, ctx, "host queries")
+		}
 		hostAg, ok := a.Hosts[ip]
 		if !ok {
 			recCounts = append(recCounts, 0)
@@ -72,7 +92,7 @@ func (a *Analyzer) contentionRound(clock *rpc.Clock, alert hostagent.Alert) *Dia
 		}
 		scanned := 0
 		for _, tup := range alert.Tuples {
-			recs := hostAg.QueryHeaders(hostagent.HeadersQuery{Switch: tup.Switch, Epochs: tup.Epochs})
+			recs := hostAg.QueryHeaders(ctx, hostagent.HeadersQuery{Switch: tup.Switch, Epochs: tup.Epochs})
 			scanned += len(recs)
 			for _, rec := range recs {
 				if rec.Flow == alert.Flow {
@@ -100,7 +120,6 @@ func (a *Analyzer) contentionRound(clock *rpc.Clock, alert hostagent.Alert) *Dia
 				}
 				d.PerSwitch[tup.Switch] = appendCulprit(d.PerSwitch[tup.Switch], c)
 				d.Culprits = appendCulprit(d.Culprits, c)
-				victimPrio := victimPriority(a, alert)
 				switch {
 				case rec.Priority > victimPrio:
 					sawHigher = true
@@ -148,12 +167,12 @@ func (a *Analyzer) contentionRound(clock *rpc.Clock, alert hostagent.Alert) *Dia
 		d.Kind = KindInconclusive
 		d.Conclusion = "contending flows found, but none at or above the victim's priority"
 	}
-	return d
+	return d, nil
 }
 
-func victimPriority(a *Analyzer, alert hostagent.Alert) uint8 {
+func victimPriority(ctx context.Context, a *Analyzer, alert hostagent.Alert) uint8 {
 	if hostAg, ok := a.Hosts[alert.Host]; ok {
-		if prio, known := hostAg.QueryPriority(alert.Flow); known {
+		if prio, known := hostAg.QueryPriority(ctx, alert.Flow); known {
 			return prio
 		}
 	}

@@ -6,25 +6,68 @@
 package analyzer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"switchpointer/internal/bitset"
 	"switchpointer/internal/mph"
 	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/switchagent"
 )
 
-// Directory owns the cluster-wide minimal perfect hash: the mapping between
-// end-host IPs and pointer-bitmap indices. The analyzer constructs it
-// whenever the end-host population changes permanently and distributes it to
-// every switch (§4.3).
-type Directory struct {
-	table *mph.Table
-	ips   []netsim.IPv4 // index → IP
+// ErrUnknownSwitch is returned by Directory implementations for lookups
+// against a switch the directory does not manage.
+var ErrUnknownSwitch = errors.New("analyzer: unknown switch")
+
+// Directory is the analyzer's backend seam to the switch-resident pointer
+// directory (§4.1): everything the diagnosis procedures need from switch
+// pointer state goes through this interface, so the in-memory implementation
+// below can later be swapped for a sharded or remote one without touching the
+// procedures.
+//
+// The three capabilities mirror the paper's directory-service roles:
+//
+//   - Hosts: pull the pointers a switch holds for an epoch range and expand
+//     them into the end-host set they name (the epoch-range scan);
+//   - IndexOf/IPAt/Len/Decode: the cluster-wide minimal perfect hash between
+//     end-host IPs and pointer-bitmap indices (the pointer lookup);
+//   - Distribute: install the MPH on every switch after a membership change
+//     (the §4.3 distribution responsibility).
+type Directory interface {
+	// Hosts returns the end hosts named by switch sw's pointers over the
+	// epoch range, honouring ctx cancellation. It returns ErrUnknownSwitch
+	// (possibly wrapped) when sw is not part of the directory.
+	Hosts(ctx context.Context, sw netsim.NodeID, epochs simtime.EpochRange) ([]netsim.IPv4, error)
+	// IndexOf returns the pointer-bitmap index of an end host.
+	IndexOf(ip netsim.IPv4) int
+	// IPAt returns the end host at a bitmap index.
+	IPAt(idx int) netsim.IPv4
+	// Len returns the number of end hosts in the directory.
+	Len() int
+	// Decode expands a raw pointer bitmap into the end-host IPs it names.
+	Decode(bits *bitset.Set) []netsim.IPv4
+	// Distribute (re)installs the directory's hash table on every switch.
+	Distribute() error
 }
 
-// BuildDirectory constructs the MPH over the given end-host IPs.
-func BuildDirectory(ips []netsim.IPv4) (*Directory, error) {
+// MemoryDirectory is the default Directory: it owns the cluster-wide minimal
+// perfect hash and reaches the simulated switch agents directly (in a real
+// deployment this is the analyzer colocated with the control plane).
+type MemoryDirectory struct {
+	table    *mph.Table
+	ips      []netsim.IPv4 // index → IP
+	switches map[netsim.NodeID]*switchagent.Agent
+}
+
+var _ Directory = (*MemoryDirectory)(nil)
+
+// NewMemoryDirectory constructs the MPH over the given end-host IPs and binds
+// it to the given switch agents (which may be nil for an index-only
+// directory, e.g. in unit tests).
+func NewMemoryDirectory(ips []netsim.IPv4, switches map[netsim.NodeID]*switchagent.Agent) (*MemoryDirectory, error) {
 	if len(ips) == 0 {
 		return nil, fmt.Errorf("analyzer: no end hosts")
 	}
@@ -36,28 +79,57 @@ func BuildDirectory(ips []netsim.IPv4) (*Directory, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analyzer: building MPH: %w", err)
 	}
-	d := &Directory{table: table, ips: make([]netsim.IPv4, len(ips))}
+	d := &MemoryDirectory{table: table, ips: make([]netsim.IPv4, len(ips)), switches: switches}
 	for _, ip := range ips {
 		d.ips[table.Lookup(uint32(ip))] = ip
 	}
 	return d, nil
 }
 
+// BuildDirectory constructs an index-only in-memory directory.
+//
+// Deprecated: use NewMemoryDirectory, which also binds the switch agents so
+// Hosts and Distribute work.
+func BuildDirectory(ips []netsim.IPv4) (*MemoryDirectory, error) {
+	return NewMemoryDirectory(ips, nil)
+}
+
 // Table returns the underlying hash table (what gets distributed to
 // switches).
-func (d *Directory) Table() *mph.Table { return d.table }
+func (d *MemoryDirectory) Table() *mph.Table { return d.table }
 
 // Len returns the number of end hosts.
-func (d *Directory) Len() int { return len(d.ips) }
+func (d *MemoryDirectory) Len() int { return len(d.ips) }
 
 // IndexOf returns the bitmap index of an end host.
-func (d *Directory) IndexOf(ip netsim.IPv4) int { return d.table.Lookup(uint32(ip)) }
+func (d *MemoryDirectory) IndexOf(ip netsim.IPv4) int { return d.table.Lookup(uint32(ip)) }
 
 // IPAt returns the end host at a bitmap index.
-func (d *Directory) IPAt(idx int) netsim.IPv4 { return d.ips[idx] }
+func (d *MemoryDirectory) IPAt(idx int) netsim.IPv4 { return d.ips[idx] }
+
+// Hosts pulls switch sw's pointers for the epoch range and decodes them.
+func (d *MemoryDirectory) Hosts(ctx context.Context, sw netsim.NodeID, epochs simtime.EpochRange) ([]netsim.IPv4, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ag, ok := d.switches[sw]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownSwitch, sw)
+	}
+	res := ag.PullPointers(epochs)
+	return d.Decode(res.Hosts), nil
+}
+
+// Distribute installs the directory's hash table on every switch (§4.3).
+func (d *MemoryDirectory) Distribute() error {
+	for _, sw := range d.switches {
+		sw.InstallMPH(d.table)
+	}
+	return nil
+}
 
 // Decode expands a pointer bitmap into the end-host IPs it names, sorted.
-func (d *Directory) Decode(bits *bitset.Set) []netsim.IPv4 {
+func (d *MemoryDirectory) Decode(bits *bitset.Set) []netsim.IPv4 {
 	var out []netsim.IPv4
 	bits.ForEach(func(i int) bool {
 		if i < len(d.ips) {

@@ -1,6 +1,8 @@
 package analyzer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -34,49 +36,54 @@ func (l LinkDistribution) Max() uint64 {
 	return l.Sizes[len(l.Sizes)-1]
 }
 
-// ImbalanceReport is the outcome of a load-imbalance investigation (§5.4).
-type ImbalanceReport struct {
-	Switch netsim.NodeID
-	Links  []LinkDistribution
-	// Separated is true when the per-link distributions split cleanly by
-	// flow size (the malfunction signature: small flows on one interface,
-	// large on the other).
-	Separated bool
-	// Boundary is a size threshold witnessing the separation.
-	Boundary uint64
-
-	HostsContacted int
-	Clock          *rpc.Clock
-	Conclusion     string
+// DiagnoseLoadImbalance investigates uneven egress utilization at a switch
+// without cancellation support. Unlike Run, it never returns nil: invalid
+// parameters yield an inconclusive report instead of an error.
+//
+// Deprecated: use Run with an ImbalanceQuery.
+func (a *Analyzer) DiagnoseLoadImbalance(sw netsim.NodeID, window simtime.EpochRange, at simtime.Time) *Report {
+	rep, err := a.Run(context.Background(), ImbalanceQuery{Switch: sw, Window: window, At: at})
+	if rep == nil {
+		rep = &Report{Switch: sw, Kind: KindInconclusive, Clock: rpc.NewClock(a.Cost, at),
+			Conclusion: fmt.Sprintf("invalid query: %v", err)}
+	}
+	return rep
 }
 
-// DiagnoseLoadImbalance investigates uneven egress utilization at a switch:
-// it pulls the pointers covering the most recent window, asks the named
-// hosts for a flow-size distribution per egress interface, and tests for a
-// clean separation in flow size between the interfaces (§5.4).
-func (a *Analyzer) DiagnoseLoadImbalance(sw netsim.NodeID, window simtime.EpochRange, at simtime.Time) *ImbalanceReport {
-	clock := rpc.NewClock(a.Cost, at)
-	rep := &ImbalanceReport{Switch: sw, Clock: clock}
+// diagnoseImbalance is the §5.4 procedure: it pulls the pointers covering
+// the window, asks the named hosts for a flow-size distribution per egress
+// interface, and tests for a clean separation in flow size between the
+// interfaces (the malfunction signature: small flows on one interface,
+// large on the other).
+func (a *Analyzer) diagnoseImbalance(ctx context.Context, q ImbalanceQuery) (*Report, error) {
+	clock := rpc.NewClock(a.Cost, q.At)
+	rep := &Report{Switch: q.Switch, Clock: clock, Kind: KindInconclusive}
 
-	ag, ok := a.Switches[sw]
-	if !ok {
-		rep.Conclusion = "unknown switch"
-		return rep
+	hosts, err := a.Dir.Hosts(ctx, q.Switch, q.Window)
+	if err != nil {
+		if errors.Is(err, ErrUnknownSwitch) {
+			rep.Conclusion = "unknown switch"
+			return rep, err
+		}
+		return aborted(rep, ctx, err, "pointer retrieval")
 	}
-	res := ag.PullPointers(window)
 	clock.PointersPulled(1)
-	hosts := a.Dir.Decode(res.Hosts)
 	rep.HostsContacted = len(hosts)
+	rep.Consulted = hosts
 
 	byLink := make(map[topo.LinkID][]uint64)
 	recCounts := make([]int, 0, len(hosts))
 	for _, ip := range hosts {
+		if ctx.Err() != nil {
+			chargePartial(rep, "diagnosis", hosts, recCounts)
+			return cancelled(rep, ctx, "host queries")
+		}
 		hostAg, ok := a.Hosts[ip]
 		if !ok {
 			recCounts = append(recCounts, 0)
 			continue
 		}
-		sizes := hostAg.QueryFlowSizes(sw)
+		sizes := hostAg.QueryFlowSizes(ctx, q.Switch)
 		recCounts = append(recCounts, len(sizes))
 		for _, fs := range sizes {
 			byLink[fs.Link] = append(byLink[fs.Link], fs.Bytes)
@@ -110,6 +117,7 @@ func (a *Analyzer) DiagnoseLoadImbalance(sw netsim.NodeID, window simtime.EpochR
 	}
 	switch {
 	case rep.Separated:
+		rep.Kind = KindLoadImbalance
 		rep.Conclusion = fmt.Sprintf(
 			"load imbalance: flow sizes separate cleanly across %d egress interfaces at ≈%d bytes (size-based misrouting)",
 			len(rep.Links), rep.Boundary)
@@ -118,5 +126,5 @@ func (a *Analyzer) DiagnoseLoadImbalance(sw netsim.NodeID, window simtime.EpochR
 	default:
 		rep.Conclusion = "single egress interface observed; nothing to compare"
 	}
-	return rep
+	return rep, nil
 }

@@ -1,6 +1,9 @@
 package analyzer
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sort"
 
 	"switchpointer/internal/hostagent"
@@ -8,17 +11,6 @@ import (
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
 )
-
-// TopKReport is the outcome of a distributed top-k query (§6.2, Fig 12).
-type TopKReport struct {
-	Switch netsim.NodeID
-	Flows  []hostagent.FlowBytes
-	// HostsContacted is the number of servers queried: with SwitchPointer
-	// only those the switch's pointers name; with the PathDump baseline,
-	// every server in the network.
-	HostsContacted int
-	Clock          *rpc.Clock
-}
 
 // TopKMode selects how the query locates telemetry.
 type TopKMode uint8
@@ -33,38 +25,69 @@ const (
 	ModePathDump
 )
 
-// TopK runs the "top-k flows at a switch" query over the hosts' telemetry.
-func (a *Analyzer) TopK(sw netsim.NodeID, k int, window simtime.EpochRange, mode TopKMode, at simtime.Time) *TopKReport {
-	clock := rpc.NewClock(a.Cost, at)
-	rep := &TopKReport{Switch: sw, Clock: clock}
+// TopK runs the "top-k flows at a switch" query without cancellation
+// support. Unlike Run, it never returns nil: pre-Query semantics treated
+// any non-positive k as "all flows", and invalid parameters yield an
+// inconclusive report instead of an error.
+//
+// Deprecated: use Run with a TopKQuery.
+func (a *Analyzer) TopK(sw netsim.NodeID, k int, window simtime.EpochRange, mode TopKMode, at simtime.Time) *Report {
+	if k < 0 {
+		k = 0
+	}
+	rep, err := a.Run(context.Background(), TopKQuery{Switch: sw, K: k, Window: window, Mode: mode, At: at})
+	if rep == nil {
+		rep = &Report{Switch: sw, Kind: KindInconclusive, Clock: rpc.NewClock(a.Cost, at),
+			Conclusion: fmt.Sprintf("invalid query: %v", err)}
+	}
+	return rep
+}
+
+// topK runs the distributed top-k query (§6.2, Fig 12) over the hosts'
+// telemetry, locating the relevant hosts per the query mode.
+func (a *Analyzer) topK(ctx context.Context, q TopKQuery) (*Report, error) {
+	clock := rpc.NewClock(a.Cost, q.At)
+	rep := &Report{Switch: q.Switch, Clock: clock, Kind: KindTopK}
 
 	var hosts []netsim.IPv4
-	switch mode {
+	switch q.Mode {
 	case ModePathDump:
 		for _, h := range a.Topo.Hosts() {
 			hosts = append(hosts, h.IP())
 		}
 		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
 	default:
-		ag, ok := a.Switches[sw]
-		if !ok {
-			return rep
+		var err error
+		hosts, err = a.Dir.Hosts(ctx, q.Switch, q.Window)
+		if err != nil {
+			rep.Kind = KindInconclusive
+			if errors.Is(err, ErrUnknownSwitch) {
+				rep.Conclusion = "unknown switch"
+				return rep, err
+			}
+			return aborted(rep, ctx, err, "pointer retrieval")
 		}
-		res := ag.PullPointers(window)
 		clock.PointersPulled(1)
-		hosts = a.Dir.Decode(res.Hosts)
 	}
 	rep.HostsContacted = len(hosts)
+	rep.Consulted = hosts
 
 	merged := make(map[netsim.FlowKey]uint64)
 	recCounts := make([]int, 0, len(hosts))
 	for _, ip := range hosts {
+		if ctx.Err() != nil {
+			// Keep the answers already merged: the caller paid for these
+			// host queries and the partial Report must carry their data.
+			chargePartial(rep, "query-execution", hosts, recCounts)
+			rep.Flows = sortedFlows(merged, q.K)
+			return cancelled(rep, ctx, "query execution")
+		}
 		hostAg, ok := a.Hosts[ip]
 		if !ok {
 			recCounts = append(recCounts, 0)
 			continue
 		}
-		top := hostAg.QueryTopK(sw, k)
+		top := hostAg.QueryTopK(ctx, q.Switch, q.K)
 		recCounts = append(recCounts, len(top))
 		for _, fb := range top {
 			if fb.Bytes > merged[fb.Flow] {
@@ -74,18 +97,26 @@ func (a *Analyzer) TopK(sw netsim.NodeID, k int, window simtime.EpochRange, mode
 	}
 	clock.HostsQueried("query-execution", hostNames(hosts), recCounts)
 
-	rep.Flows = make([]hostagent.FlowBytes, 0, len(merged))
+	rep.Flows = sortedFlows(merged, q.K)
+	rep.Conclusion = fmt.Sprintf("top-%d flows at switch %d via %d host(s)", q.K, q.Switch, rep.HostsContacted)
+	return rep, nil
+}
+
+// sortedFlows orders merged per-host answers by bytes descending (flow key
+// as the tie-break) and truncates to k when k > 0.
+func sortedFlows(merged map[netsim.FlowKey]uint64, k int) []hostagent.FlowBytes {
+	flows := make([]hostagent.FlowBytes, 0, len(merged))
 	for f, b := range merged {
-		rep.Flows = append(rep.Flows, hostagent.FlowBytes{Flow: f, Bytes: b})
+		flows = append(flows, hostagent.FlowBytes{Flow: f, Bytes: b})
 	}
-	sort.Slice(rep.Flows, func(i, j int) bool {
-		if rep.Flows[i].Bytes != rep.Flows[j].Bytes {
-			return rep.Flows[i].Bytes > rep.Flows[j].Bytes
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Bytes != flows[j].Bytes {
+			return flows[i].Bytes > flows[j].Bytes
 		}
-		return rep.Flows[i].Flow.String() < rep.Flows[j].Flow.String()
+		return flows[i].Flow.String() < flows[j].Flow.String()
 	})
-	if k > 0 && len(rep.Flows) > k {
-		rep.Flows = rep.Flows[:k]
+	if k > 0 && len(flows) > k {
+		flows = flows[:k]
 	}
-	return rep
+	return flows
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"switchpointer/internal/analyzer"
 	"switchpointer/internal/header"
 	"switchpointer/internal/mph"
 	"switchpointer/internal/scenario"
@@ -57,10 +59,16 @@ func AblationPruning() (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("ablation-pruning: no alert for m=%d", m)
 		}
-		on := tb.Analyzer.DiagnoseContention(alert)
+		on, err := tb.Analyzer.Run(context.Background(), analyzer.ContentionQuery{Alert: alert})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-pruning: %w", err)
+		}
 		tb.Analyzer.DisablePruning = true
-		off := tb.Analyzer.DiagnoseContention(alert)
+		off, err := tb.Analyzer.Run(context.Background(), analyzer.ContentionQuery{Alert: alert})
 		tb.Analyzer.DisablePruning = false
+		if err != nil {
+			return nil, fmt.Errorf("ablation-pruning: %w", err)
+		}
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprintf("%d", m),
 			fmt.Sprintf("%d", on.HostsContacted),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"switchpointer/internal/analyzer"
@@ -30,7 +31,10 @@ func Fig7() (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("fig7: no alert for m=%d", m)
 		}
-		d := tb.Analyzer.DiagnoseContention(alert)
+		d, err := tb.Analyzer.Run(context.Background(), analyzer.ContentionQuery{Alert: alert})
+		if err != nil {
+			return nil, fmt.Errorf("fig7: %w", err)
+		}
 		if d.Kind != analyzer.KindPriorityContention {
 			r.AddNote("m=%d classified as %s", m, d.Kind)
 		}
@@ -75,11 +79,15 @@ func fig8WithSweep(sweep []int) (*Result, error) {
 			return nil, err
 		}
 		tb := s.Testbed
-		tb.Run(s.MaxFlowDuration() + 100*simtime.Millisecond)
+		end := tb.Run(s.MaxFlowDuration() + 100*simtime.Millisecond)
 		ag := tb.SwitchAgents[s.Suspect.NodeID()]
-		nowEpoch := ag.LocalEpochAt(tb.Net.Now())
+		nowEpoch := ag.LocalEpochAt(end)
 		window := simtime.EpochRange{Lo: nowEpoch - 99, Hi: nowEpoch} // most recent 1 s
-		rep := tb.Analyzer.DiagnoseLoadImbalance(s.Suspect.NodeID(), window, tb.Net.Now())
+		rep, err := tb.Analyzer.Run(context.Background(),
+			analyzer.ImbalanceQuery{Switch: s.Suspect.NodeID(), Window: window, At: end})
+		if err != nil {
+			return nil, fmt.Errorf("fig8: %w", err)
+		}
 		if !rep.Separated {
 			return nil, fmt.Errorf("fig8: n=%d separation not detected (%s)", n, rep.Conclusion)
 		}
@@ -123,11 +131,18 @@ func fig12WithSweep(sweep []int, total int) (*Result, error) {
 			return nil, err
 		}
 		tb := s.Testbed
-		tb.Run(50 * simtime.Millisecond)
+		now := tb.Run(50 * simtime.Millisecond)
 		window := simtime.EpochRange{Lo: 0, Hi: 10}
-		now := tb.Net.Now()
-		sp := tb.Analyzer.TopK(s.Queried.NodeID(), 100, window, analyzer.ModeSwitchPointer, now)
-		pd := tb.Analyzer.TopK(s.Queried.NodeID(), 100, window, analyzer.ModePathDump, now)
+		sp, err := tb.Analyzer.Run(context.Background(), analyzer.TopKQuery{
+			Switch: s.Queried.NodeID(), K: 100, Window: window, Mode: analyzer.ModeSwitchPointer, At: now})
+		if err != nil {
+			return nil, fmt.Errorf("fig12: %w", err)
+		}
+		pd, err := tb.Analyzer.Run(context.Background(), analyzer.TopKQuery{
+			Switch: s.Queried.NodeID(), K: 100, Window: window, Mode: analyzer.ModePathDump, At: now})
+		if err != nil {
+			return nil, fmt.Errorf("fig12: %w", err)
+		}
 		spTotal := sp.Clock.Total()
 		// Connection initiation is the sequential per-server term of the
 		// query phase (§6.2's bottleneck).

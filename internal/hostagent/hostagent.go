@@ -6,6 +6,7 @@
 package hostagent
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -230,6 +231,10 @@ func (a *Agent) raise(al Alert) {
 }
 
 // ---- Query executors (invoked by the analyzer over RPC) ----
+//
+// Every executor takes a context so a long distributed query can be
+// cancelled or deadline-bounded end to end: the analyzer passes its query
+// context, and the HTTP binding passes the request context.
 
 // HeadersQuery asks for records of flows that traversed a switch during an
 // epoch range.
@@ -241,7 +246,10 @@ type HeadersQuery struct {
 // QueryHeaders returns (clones of) records matching the query: the
 // "filter headers for packets that match a (switchID, epochID) pair"
 // primitive that SwitchPointer's whole debugging flow builds on.
-func (a *Agent) QueryHeaders(q HeadersQuery) []*flowrec.Record {
+func (a *Agent) QueryHeaders(ctx context.Context, q HeadersQuery) []*flowrec.Record {
+	if ctx.Err() != nil {
+		return nil
+	}
 	var out []*flowrec.Record
 	for _, rec := range a.Store.BySwitch(q.Switch) {
 		er, ok := rec.EpochsAt(q.Switch)
@@ -261,7 +269,10 @@ type FlowBytes struct {
 
 // QueryTopK returns this host's top-k flows by bytes through switch sw.
 // The analyzer merges per-host answers into the global top-k (Fig 12).
-func (a *Agent) QueryTopK(sw netsim.NodeID, k int) []FlowBytes {
+func (a *Agent) QueryTopK(ctx context.Context, sw netsim.NodeID, k int) []FlowBytes {
+	if ctx.Err() != nil {
+		return nil
+	}
 	recs := a.Store.BySwitch(sw)
 	out := make([]FlowBytes, 0, len(recs))
 	for _, r := range recs {
@@ -289,7 +300,10 @@ type FlowSize struct {
 
 // QueryFlowSizes returns sizes and egress links of this host's flows through
 // switch sw.
-func (a *Agent) QueryFlowSizes(sw netsim.NodeID) []FlowSize {
+func (a *Agent) QueryFlowSizes(ctx context.Context, sw netsim.NodeID) []FlowSize {
+	if ctx.Err() != nil {
+		return nil
+	}
 	recs := a.Store.BySwitch(sw)
 	out := make([]FlowSize, 0, len(recs))
 	for _, r := range recs {
@@ -299,7 +313,10 @@ func (a *Agent) QueryFlowSizes(sw netsim.NodeID) []FlowSize {
 }
 
 // QueryPriority returns the recorded DSCP priority of a flow, if known.
-func (a *Agent) QueryPriority(flow netsim.FlowKey) (uint8, bool) {
+func (a *Agent) QueryPriority(ctx context.Context, flow netsim.FlowKey) (uint8, bool) {
+	if ctx.Err() != nil {
+		return 0, false
+	}
 	if rec, ok := a.Store.Lookup(flow); ok {
 		return rec.Priority, true
 	}

@@ -1,6 +1,7 @@
 package hostagent
 
 import (
+	"context"
 	"testing"
 
 	"switchpointer/internal/header"
@@ -172,16 +173,16 @@ func TestQueryHeaders(t *testing.T) {
 	ag := agents[dst.IP()]
 	s2, _ := tp.SwitchByName("S2")
 
-	recs := ag.QueryHeaders(HeadersQuery{Switch: s2.NodeID(), Epochs: simtime.EpochRange{Lo: 0, Hi: 5}})
+	recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: s2.NodeID(), Epochs: simtime.EpochRange{Lo: 0, Hi: 5}})
 	if len(recs) != 1 || recs[0].Flow != flow {
 		t.Fatalf("QueryHeaders = %v", recs)
 	}
 	// Epoch window far in the future matches nothing.
-	if recs := ag.QueryHeaders(HeadersQuery{Switch: s2.NodeID(), Epochs: simtime.EpochRange{Lo: 1000, Hi: 2000}}); len(recs) != 0 {
+	if recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: s2.NodeID(), Epochs: simtime.EpochRange{Lo: 1000, Hi: 2000}}); len(recs) != 0 {
 		t.Fatalf("future epochs should match nothing")
 	}
 	// Unknown switch matches nothing.
-	if recs := ag.QueryHeaders(HeadersQuery{Switch: 999, Epochs: simtime.EpochRange{Lo: 0, Hi: 5}}); len(recs) != 0 {
+	if recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: 999, Epochs: simtime.EpochRange{Lo: 0, Hi: 5}}); len(recs) != 0 {
 		t.Fatalf("unknown switch should match nothing")
 	}
 }
@@ -199,7 +200,7 @@ func TestQueryTopK(t *testing.T) {
 	}
 	net.Run()
 	ag := agents[dst.IP()]
-	top := ag.QueryTopK(s2.NodeID(), 2)
+	top := ag.QueryTopK(context.Background(), s2.NodeID(), 2)
 	if len(top) != 2 {
 		t.Fatalf("topk = %d", len(top))
 	}
@@ -209,7 +210,7 @@ func TestQueryTopK(t *testing.T) {
 	if top[0].Bytes <= top[1].Bytes {
 		t.Fatalf("topk not descending")
 	}
-	if all := ag.QueryTopK(s2.NodeID(), 0); len(all) != 3 {
+	if all := ag.QueryTopK(context.Background(), s2.NodeID(), 0); len(all) != 3 {
 		t.Fatalf("k=0 should return all: %d", len(all))
 	}
 }
@@ -224,13 +225,13 @@ func TestQueryPriorityAndFlowSizes(t *testing.T) {
 		Flow: flow, Priority: 5, RateBps: 100_000_000, Start: 0, Duration: 10 * simtime.Millisecond})
 	net.Run()
 	ag := agents[dst.IP()]
-	if prio, ok := ag.QueryPriority(flow); !ok || prio != 5 {
+	if prio, ok := ag.QueryPriority(context.Background(), flow); !ok || prio != 5 {
 		t.Fatalf("QueryPriority = %d %v", prio, ok)
 	}
-	if _, ok := ag.QueryPriority(netsim.FlowKey{Src: 1}); ok {
+	if _, ok := ag.QueryPriority(context.Background(), netsim.FlowKey{Src: 1}); ok {
 		t.Fatalf("unknown flow priority should miss")
 	}
-	sizes := ag.QueryFlowSizes(s1.NodeID())
+	sizes := ag.QueryFlowSizes(context.Background(), s1.NodeID())
 	if len(sizes) != 1 || sizes[0].Bytes == 0 || sizes[0].Link == 0 {
 		t.Fatalf("QueryFlowSizes = %+v", sizes)
 	}

@@ -88,7 +88,7 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		recs := a.QueryHeaders(hostagent.HeadersQuery{
+		recs := a.QueryHeaders(r.Context(), hostagent.HeadersQuery{
 			Switch: req.Switch,
 			Epochs: simtime.EpochRange{Lo: req.EpochLo, Hi: req.EpochHi},
 		})
@@ -99,21 +99,21 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, a.QueryTopK(req.Switch, req.K))
+		writeJSON(w, a.QueryTopK(r.Context(), req.Switch, req.K))
 	})
 	mux.HandleFunc("/flowsizes", func(w http.ResponseWriter, r *http.Request) {
 		var req FlowSizesRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, a.QueryFlowSizes(req.Switch))
+		writeJSON(w, a.QueryFlowSizes(r.Context(), req.Switch))
 	})
 	mux.HandleFunc("/priority", func(w http.ResponseWriter, r *http.Request) {
 		var req PriorityRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		prio, known := a.QueryPriority(req.Flow)
+		prio, known := a.QueryPriority(r.Context(), req.Flow)
 		writeJSON(w, PriorityResponse{Priority: prio, Known: known})
 	})
 	return mux

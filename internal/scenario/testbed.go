@@ -80,6 +80,8 @@ type Testbed struct {
 
 	// Alerts collects every trigger raised by any host, in order.
 	Alerts []hostagent.Alert
+
+	bus *hostagent.Bus
 }
 
 // BuildFunc constructs a topology on a fresh network.
@@ -100,6 +102,7 @@ func NewTestbed(build BuildFunc, opt Options) (*Testbed, error) {
 		Topo:         tp,
 		SwitchAgents: make(map[netsim.NodeID]*switchagent.Agent),
 		HostAgents:   make(map[netsim.IPv4]*hostagent.Agent),
+		bus:          hostagent.NewBus(),
 	}
 	params := opt.Params()
 	tb.Decoder = &header.Decoder{Topo: tp, Mode: opt.Mode, Params: params}
@@ -108,11 +111,6 @@ func NewTestbed(build BuildFunc, opt Options) (*Testbed, error) {
 	for _, h := range tp.Hosts() {
 		ips = append(ips, h.IP())
 	}
-	dir, err := analyzer.BuildDirectory(ips)
-	if err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
-
 	for _, sw := range tp.Switches() {
 		ag, err := switchagent.New(net, tp, sw, switchagent.Config{
 			Pointer:            pointer.Config{Alpha: opt.Alpha, K: opt.K, NumHosts: len(ips)},
@@ -127,12 +125,21 @@ func NewTestbed(build BuildFunc, opt Options) (*Testbed, error) {
 	}
 	for _, h := range tp.Hosts() {
 		ag := hostagent.New(net, h, tb.Decoder, opt.HostCfg)
-		ag.OnAlert = func(a hostagent.Alert) { tb.Alerts = append(tb.Alerts, a) }
+		ag.OnAlert = func(a hostagent.Alert) {
+			tb.Alerts = append(tb.Alerts, a)
+			tb.bus.Publish(a)
+		}
 		ag.StartTriggers()
 		tb.HostAgents[h.IP()] = ag
 	}
-	tb.Analyzer = analyzer.New(tp, dir, tb.SwitchAgents, tb.HostAgents, opt.Cost)
-	tb.Analyzer.DistributeMPH()
+	dir, err := analyzer.NewMemoryDirectory(ips, tb.SwitchAgents)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	tb.Analyzer = analyzer.New(tp, dir, tb.HostAgents, opt.Cost)
+	if err := dir.Distribute(); err != nil {
+		return nil, fmt.Errorf("scenario: distributing MPH: %w", err)
+	}
 	return tb, nil
 }
 
@@ -155,7 +162,9 @@ func (tb *Testbed) Switch(name string) *netsim.Switch {
 	return s
 }
 
-// AlertFor returns the first collected alert for a flow.
+// AlertFor returns the first collected alert for a flow. It is the
+// poll-style compatibility shim over the alert log; prefer Subscribe for
+// event-driven consumption.
 func (tb *Testbed) AlertFor(flow netsim.FlowKey) (hostagent.Alert, bool) {
 	for _, a := range tb.Alerts {
 		if a.Flow == flow {
@@ -165,5 +174,36 @@ func (tb *Testbed) AlertFor(flow netsim.FlowKey) (hostagent.Alert, bool) {
 	return hostagent.Alert{}, false
 }
 
-// Run advances the testbed to absolute virtual time t.
-func (tb *Testbed) Run(t simtime.Time) { tb.Net.RunUntil(t) }
+// Subscribe registers an alert subscriber: every alert any host raises from
+// now on that matches the filter is delivered on the returned buffered
+// channel. Multiple subscribers each receive their own copy; a subscriber
+// that stops draining loses alerts rather than blocking the simulation. The
+// channel is closed when the testbed is Closed.
+func (tb *Testbed) Subscribe(f hostagent.AlertFilter) <-chan hostagent.Alert {
+	return tb.bus.Subscribe(f)
+}
+
+// SubscribeBuffered is Subscribe with an explicit channel capacity.
+func (tb *Testbed) SubscribeBuffered(f hostagent.AlertFilter, buf int) <-chan hostagent.Alert {
+	return tb.bus.SubscribeBuffered(f, buf)
+}
+
+// AlertsDropped reports alert deliveries lost to full subscriber buffers.
+func (tb *Testbed) AlertsDropped() uint64 { return tb.bus.Dropped() }
+
+// Close tears the testbed down: every subscription channel is closed (after
+// draining) and further alerts go only to the Alerts log. Close is
+// idempotent.
+func (tb *Testbed) Close() { tb.bus.Close() }
+
+// Run advances the testbed to absolute virtual time t and returns the final
+// virtual time. Calling Run with a time at or before the current one is a
+// no-op (the clock never moves backwards), so repeated Run calls past the
+// end of a scenario are idempotent.
+func (tb *Testbed) Run(t simtime.Time) simtime.Time {
+	// >= so events scheduled at exactly the current time still fire.
+	if t >= tb.Net.Now() {
+		tb.Net.RunUntil(t)
+	}
+	return tb.Net.Now()
+}

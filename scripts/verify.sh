@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verification: build + vet + test + cmd/examples compile checks.
+# Equivalent to `make verify`; kept as a script for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+
+mkdir -p bin
+go build -o bin/ ./cmd/...
+for d in examples/*/; do
+	echo "build $d"
+	go build -o /dev/null "./$d"
+done
+echo "verify: OK"

@@ -10,7 +10,48 @@
 // analyzer uses those pointers to contact exactly the hosts holding relevant
 // telemetry, instead of everyone.
 //
-// This package is the public facade over the full system:
+// # The monitoring service API
+//
+// The facade is organized around three pillars:
+//
+//   - Unified queries. Every diagnosis procedure is a Query value —
+//     ContentionQuery, RedLightsQuery, CascadeQuery, ImbalanceQuery,
+//     TopKQuery — executed through one dispatch point,
+//     Analyzer.Run(ctx, query), which returns the unified Report envelope
+//     (outcome kind, culprits, payloads, consulted-host set, virtual-time
+//     cost breakdown). Queries honour context cancellation and deadlines at
+//     every phase boundary; a cancelled query returns the partial Report
+//     with the cost actually incurred, plus ctx.Err().
+//
+//   - Streaming alerts. Testbed.Subscribe(AlertFilter) returns a buffered
+//     channel delivering every matching host-raised alert; multiple
+//     subscribers each get their own copy, and Testbed.Close tears all
+//     subscriptions down. The poll-style AlertFor remains as a shim over
+//     the alert log.
+//
+//   - Pluggable directory. The analyzer reaches switch pointer state only
+//     through the analyzer.Directory interface (pointer lookup, epoch-range
+//     scan, MPH distribution). The in-memory implementation is the default;
+//     the seam exists for sharded/remote backends.
+//
+// # Quick start
+//
+//	tb, err := switchpointer.New(switchpointer.Dumbbell(4, 4),
+//		switchpointer.WithQueueDiscipline(switchpointer.QueuePriority))
+//	if err != nil { ... }
+//	alerts := tb.Subscribe(switchpointer.AlertFilter{}) // all alerts
+//	// inject traffic with switchpointer.StartTCP / StartUDP ...
+//	tb.Run(110 * switchpointer.Millisecond)
+//	alert := <-alerts
+//	rep, err := tb.Analyzer.Run(ctx, switchpointer.ContentionQuery{Alert: alert})
+//	fmt.Println(rep.Kind, rep.Conclusion)
+//	tb.Close()
+//
+// Construction takes functional options (WithEpoch, WithLevels,
+// WithQueueDiscipline, WithCostModel, ...); the plain Options struct and
+// NewTestbed keep working for callers that prefer it.
+//
+// Underneath the facade:
 //
 //   - a deterministic discrete-event datacenter simulator (switches with
 //     strict-priority/FIFO queues, links, hosts, TCP/UDP transports);
@@ -24,16 +65,6 @@
 //   - the analyzer with the paper's diagnosis procedures: priority/
 //     microburst contention, too-many-red-lights, traffic cascades, load
 //     imbalance, and top-k queries with a PathDump baseline.
-//
-// Quick start:
-//
-//	tb, err := switchpointer.NewTestbed(switchpointer.Dumbbell(4, 4), switchpointer.Options{})
-//	if err != nil { ... }
-//	// inject traffic with switchpointer.StartTCP / StartUDP ...
-//	tb.Run(110 * switchpointer.Millisecond)
-//	alert, _ := tb.AlertFor(victimFlow)
-//	diag := tb.Analyzer.DiagnoseContention(alert)
-//	fmt.Println(diag.Kind, diag.Conclusion)
 //
 // The runnable examples under examples/ and the experiment harness under
 // cmd/spbench exercise every part of this API.
@@ -73,31 +104,57 @@ type (
 	Host = netsim.Host
 	// Switch is a simulated switch.
 	Switch = netsim.Switch
+	// QueueKind selects a switch queue discipline.
+	QueueKind = netsim.QueueKind
 
 	// Topology is the structural view used for routing/reconstruction.
 	Topology = topo.Topology
 
 	// Options configures a testbed (epoch size α, levels k, drift bound ε,
-	// queue discipline, RPC cost model, ...).
+	// queue discipline, RPC cost model, ...). Prefer the functional options
+	// accepted by New; Options remains for struct-literal construction.
 	Options = scenario.Options
 	// Testbed is a fully wired SwitchPointer deployment.
 	Testbed = scenario.Testbed
 
 	// Alert is a host-raised trigger event.
 	Alert = hostagent.Alert
+	// AlertFilter selects which alerts a Testbed.Subscribe subscription
+	// receives; the zero filter matches everything.
+	AlertFilter = hostagent.AlertFilter
 	// HostAgent is the end-host telemetry component.
 	HostAgent = hostagent.Agent
+	// HostConfig tunes the host agents' trigger engines.
+	HostConfig = hostagent.Config
 
-	// Analyzer executes diagnoses.
+	// Analyzer executes queries (Analyzer.Run).
 	Analyzer = analyzer.Analyzer
-	// Diagnosis is a contention/red-lights/cascade outcome.
-	Diagnosis = analyzer.Diagnosis
-	// Culprit is one contending flow in a diagnosis.
+	// Query is one self-describing analyzer request.
+	Query = analyzer.Query
+	// Report is the unified answer envelope every query kind returns.
+	Report = analyzer.Report
+	// ContentionQuery debugs a throughput-drop or timeout alert (§5.1).
+	ContentionQuery = analyzer.ContentionQuery
+	// RedLightsQuery debugs accumulated per-switch degradation (§5.2).
+	RedLightsQuery = analyzer.RedLightsQuery
+	// CascadeQuery chases causality backwards from an alert (§5.3).
+	CascadeQuery = analyzer.CascadeQuery
+	// ImbalanceQuery investigates uneven egress utilization (§5.4).
+	ImbalanceQuery = analyzer.ImbalanceQuery
+	// TopKQuery runs the distributed top-k flows query (§6.2).
+	TopKQuery = analyzer.TopKQuery
+	// Directory is the pluggable pointer-directory backend seam.
+	Directory = analyzer.Directory
+	// Culprit is one contending flow in a report.
 	Culprit = analyzer.Culprit
-	// ImbalanceReport is the load-imbalance outcome.
-	ImbalanceReport = analyzer.ImbalanceReport
-	// TopKReport is the distributed top-k outcome.
-	TopKReport = analyzer.TopKReport
+
+	// Diagnosis, ImbalanceReport and TopKReport are the pre-Query result
+	// types, all subsumed by Report.
+	//
+	// Deprecated: use Report.
+	Diagnosis       = analyzer.Report
+	ImbalanceReport = analyzer.Report
+	TopKReport      = analyzer.Report
 
 	// TCPConfig and UDPConfig describe workload flows.
 	TCPConfig = transport.TCPConfig
@@ -132,14 +189,21 @@ const (
 	QueuePriority = netsim.QueuePriority
 )
 
-// Diagnosis kinds.
+// Report outcome kinds.
 const (
 	KindPriorityContention = analyzer.KindPriorityContention
 	KindMicroburst         = analyzer.KindMicroburst
 	KindRedLights          = analyzer.KindRedLights
 	KindCascade            = analyzer.KindCascade
 	KindLoadImbalance      = analyzer.KindLoadImbalance
+	KindTopK               = analyzer.KindTopK
 	KindInconclusive       = analyzer.KindInconclusive
+)
+
+// Alert kinds.
+const (
+	AlertThroughputDrop = hostagent.AlertThroughputDrop
+	AlertTimeout        = hostagent.AlertTimeout
 )
 
 // Top-k query modes.
@@ -196,9 +260,20 @@ func ParallelLinks(nLeft, nRight, nLinks int) BuildFunc {
 	}
 }
 
-// NewTestbed assembles a complete SwitchPointer deployment on the given
-// topology: per-switch datapaths and agents, per-host agents with triggers
-// armed, the MPH directory distributed, and an analyzer.
+// New assembles a complete SwitchPointer deployment on the given topology —
+// per-switch datapaths and agents, per-host agents with triggers armed, the
+// MPH directory distributed, and an analyzer — configured by functional
+// options. With no options every parameter takes the paper's default.
+func New(build BuildFunc, opts ...Option) (*Testbed, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return scenario.NewTestbed(build, o)
+}
+
+// NewTestbed assembles a deployment from an explicit Options struct. New is
+// the functional-options equivalent.
 func NewTestbed(build BuildFunc, opt Options) (*Testbed, error) {
 	return scenario.NewTestbed(build, opt)
 }

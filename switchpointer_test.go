@@ -1,16 +1,19 @@
 package switchpointer
 
 import (
+	"context"
 	"testing"
 )
 
 // TestPublicAPIQuickstart walks the documented quick-start flow end to end
-// through the facade only.
+// through the facade only: functional options, the alert stream, and the
+// unified query dispatch.
 func TestPublicAPIQuickstart(t *testing.T) {
-	tb, err := NewTestbed(Dumbbell(3, 3), Options{Queue: QueuePriority})
+	tb, err := New(Dumbbell(3, 3), WithQueueDiscipline(QueuePriority))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer tb.Close()
 	src := tb.Host("L1")
 	dst := tb.Host("R1")
 	victim := FlowKey{Src: src.IP(), Dst: dst.IP(), SrcPort: 10000, DstPort: 80, Proto: 6}
@@ -23,21 +26,64 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		Priority: 7, RateBps: 1_000_000_000,
 		Start: 50 * Millisecond, Duration: 5 * Millisecond,
 	})
-	tb.Run(120 * Millisecond)
+	alerts := tb.Subscribe(AlertFilter{Flow: victim})
+	if end := tb.Run(120 * Millisecond); end != 120*Millisecond {
+		t.Fatalf("Run returned %v, want 120ms", end)
+	}
 
-	alert, ok := tb.AlertFor(victim)
-	if !ok {
-		t.Fatalf("no alert")
+	var alert Alert
+	select {
+	case alert = <-alerts:
+	default:
+		t.Fatalf("no alert on the stream")
 	}
-	diag := tb.Analyzer.DiagnoseContention(alert)
-	if diag.Kind != KindPriorityContention {
-		t.Fatalf("kind = %v (%s)", diag.Kind, diag.Conclusion)
+	// The compatibility shim must agree with the stream.
+	polled, ok := tb.AlertFor(victim)
+	if !ok || polled.DetectedAt != alert.DetectedAt {
+		t.Fatalf("AlertFor disagrees with Subscribe: %v vs %v", polled, alert)
 	}
-	if len(diag.Culprits) != 1 || diag.Culprits[0].Flow.Dst != aggDst.IP() {
-		t.Fatalf("culprits = %+v", diag.Culprits)
+
+	rep, err := tb.Analyzer.Run(context.Background(), ContentionQuery{Alert: alert})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if diag.Total() <= 0 || diag.Total() > 100*Millisecond {
-		t.Fatalf("diagnosis time = %v", diag.Total())
+	if rep.Kind != KindPriorityContention {
+		t.Fatalf("kind = %v (%s)", rep.Kind, rep.Conclusion)
+	}
+	if len(rep.Culprits) != 1 || rep.Culprits[0].Flow.Dst != aggDst.IP() {
+		t.Fatalf("culprits = %+v", rep.Culprits)
+	}
+	if rep.Total() <= 0 || rep.Total() > 100*Millisecond {
+		t.Fatalf("diagnosis time = %v", rep.Total())
+	}
+	if len(rep.Consulted) != rep.HostsContacted {
+		t.Fatalf("Consulted = %v, HostsContacted = %d", rep.Consulted, rep.HostsContacted)
+	}
+	// The deprecated poll-style entry point returns the same classification.
+	if diag := tb.Analyzer.DiagnoseContention(alert); diag.Kind != rep.Kind {
+		t.Fatalf("shim kind %v != %v", diag.Kind, rep.Kind)
+	}
+}
+
+// TestRunIdempotentPastEnd verifies the repaired Testbed.Run contract.
+func TestRunIdempotentPastEnd(t *testing.T) {
+	tb, err := New(Dumbbell(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if end := tb.Run(10 * Millisecond); end != 10*Millisecond {
+		t.Fatalf("first Run = %v", end)
+	}
+	// Re-running to an earlier or equal time must not move the clock.
+	if end := tb.Run(5 * Millisecond); end != 10*Millisecond {
+		t.Fatalf("backwards Run = %v, want clock pinned at 10ms", end)
+	}
+	if end := tb.Run(10 * Millisecond); end != 10*Millisecond {
+		t.Fatalf("repeat Run = %v", end)
+	}
+	if end := tb.Run(12 * Millisecond); end != 12*Millisecond {
+		t.Fatalf("forward Run = %v", end)
 	}
 }
 
