@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench binaries verify clean
+.PHONY: all build vet test race bench bench-quick binaries verify clean
 
 all: verify
 
@@ -16,8 +16,18 @@ vet:
 test:
 	$(GO) test ./...
 
-## bench: run every benchmark once (the paper's figures as metrics)
+## race: race detector over the concurrent surface (analyzer fan-out, RPC,
+## host-agent query executors) — scoped so the gate stays fast
+race:
+	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent
+
+## bench: run the paper-figure benchmark suite with -benchmem and refresh
+## the machine-readable perf-trajectory artifact (BENCH_PR2.json)
 bench:
+	scripts/bench.sh
+
+## bench-quick: one pass over every benchmark in every package
+bench-quick:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## binaries: every cmd/ tool and examples/ program must compile
@@ -29,8 +39,8 @@ binaries:
 		$(GO) build -o /dev/null "./$$d"; \
 	done
 
-## verify: the tier-1 gate — build, vet, test, and binary compile checks
-verify: build vet test binaries
+## verify: the tier-1 gate — build, vet, test, race, and binary compile checks
+verify: build vet test race binaries
 
 clean:
 	rm -rf bin

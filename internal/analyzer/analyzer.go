@@ -29,6 +29,28 @@ type Analyzer struct {
 	// DetectionLatency is the trigger granularity charged as the
 	// "problem detection" phase (paper: <1 ms; 3–4 ms for microbursts).
 	DetectionLatency simtime.Time
+
+	// Workers bounds the concurrent per-host query fan-out of every
+	// diagnosis procedure. Zero selects rpc.DefaultFanOutWorkers; one
+	// reproduces the fully sequential pre-fan-out behaviour. Results are
+	// byte-identical for every worker count: per-host answers are merged in
+	// sorted host order regardless of completion order (see rpc.FanOut).
+	Workers int
+}
+
+// DefaultWorkers, when positive, sets the fan-out width for analyzers whose
+// Workers field is zero. It exists as a package-level seam so harnesses that
+// build testbeds indirectly (the experiment regenerators, determinism tests)
+// can pin the worker count without threading it through every constructor;
+// zero defers to rpc.DefaultFanOutWorkers.
+var DefaultWorkers int
+
+// workers resolves the effective fan-out width (0 = rpc default).
+func (a *Analyzer) workers() int {
+	if a.Workers > 0 {
+		return a.Workers
+	}
+	return DefaultWorkers
 }
 
 // New assembles an analyzer over the given directory backend and host agents.

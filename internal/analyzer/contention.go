@@ -73,27 +73,28 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 	d.Consulted = contact
 
 	// Query each surviving host for headers matching any (switch, epochs)
-	// tuple of the victim, and correlate. A cancellation mid-round still
-	// charges the hosts queried so far, so the partial Report carries the
-	// cost actually incurred.
-	recCounts := make([]int, 0, len(contact))
+	// tuple of the victim, and correlate. The per-host queries fan out over
+	// a bounded worker pool; each worker fills its own slot of `answers`, so
+	// the merge below — in sorted host order — is byte-identical for every
+	// worker count. A cancellation mid-round still charges the hosts
+	// dispatched so far, so the partial Report carries the cost actually
+	// incurred.
 	victimPrio := victimPriority(ctx, a, alert)
-	sawHigher := false
-	sawEqual := false
-	for _, ip := range contact {
-		if ctx.Err() != nil {
-			chargePartial(d, "diagnosis", contact, recCounts)
-			return cancelled(d, ctx, "host queries")
-		}
+	type hostAnswer struct {
+		scanned  int
+		culprits []Culprit
+	}
+	answers := make([]hostAnswer, len(contact))
+	dispatched, cerr := rpc.FanOut(ctx, a.workers(), len(contact), func(ctx context.Context, i int) {
+		ip := contact[i]
 		hostAg, ok := a.Hosts[ip]
 		if !ok {
-			recCounts = append(recCounts, 0)
-			continue
+			return
 		}
-		scanned := 0
+		ans := &answers[i]
 		for _, tup := range alert.Tuples {
 			recs := hostAg.QueryHeaders(ctx, hostagent.HeadersQuery{Switch: tup.Switch, Epochs: tup.Epochs})
-			scanned += len(recs)
+			ans.scanned += len(recs)
 			for _, rec := range recs {
 				if rec.Flow == alert.Flow {
 					continue
@@ -118,17 +119,29 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 				if c.Bytes == 0 {
 					c.Bytes = rec.Bytes
 				}
-				d.PerSwitch[tup.Switch] = appendCulprit(d.PerSwitch[tup.Switch], c)
-				d.Culprits = appendCulprit(d.Culprits, c)
-				switch {
-				case rec.Priority > victimPrio:
-					sawHigher = true
-				case rec.Priority == victimPrio:
-					sawEqual = true
-				}
+				ans.culprits = append(ans.culprits, c)
 			}
 		}
-		recCounts = append(recCounts, scanned)
+	})
+	recCounts := make([]int, dispatched)
+	sawHigher := false
+	sawEqual := false
+	for i := 0; i < dispatched; i++ {
+		recCounts[i] = answers[i].scanned
+		for _, c := range answers[i].culprits {
+			d.PerSwitch[c.Switch] = appendCulprit(d.PerSwitch[c.Switch], c)
+			d.Culprits = appendCulprit(d.Culprits, c)
+			switch {
+			case c.Priority > victimPrio:
+				sawHigher = true
+			case c.Priority == victimPrio:
+				sawEqual = true
+			}
+		}
+	}
+	if cerr != nil {
+		chargePartial(d, "diagnosis", contact, recCounts)
+		return cancelled(d, ctx, "host queries")
 	}
 	clock.HostsQueried("diagnosis", hostNames(contact), recCounts)
 

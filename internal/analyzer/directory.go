@@ -36,6 +36,23 @@ var ErrUnknownSwitch = errors.New("analyzer: unknown switch")
 //     end-host IPs and pointer-bitmap indices (the pointer lookup);
 //   - Distribute: install the MPH on every switch after a membership change
 //     (the §4.3 distribution responsibility).
+//
+// # Concurrency contract
+//
+// The analyzer's per-host query rounds fan out over a bounded worker pool
+// (rpc.FanOut), so an implementation must support:
+//
+//   - Hosts, IndexOf, IPAt, Len, Decode: safe for concurrent calls. The
+//     built-in procedures currently issue pointer pulls from the
+//     coordinating goroutine only, but remote/sharded backends must not
+//     rely on that.
+//   - Distribute: may mutate; callers serialize it against queries (it runs
+//     at membership changes, never during a diagnosis).
+//
+// Host agents, by contrast, are NOT required to tolerate concurrent queries
+// against the same agent: the fan-out dispatches each host exactly once per
+// round, so one worker owns one host's store at a time (the record store
+// memoizes query indexes on first use and relies on this).
 type Directory interface {
 	// Hosts returns the end hosts named by switch sw's pointers over the
 	// epoch range, honouring ctx cancellation. It returns ErrUnknownSwitch

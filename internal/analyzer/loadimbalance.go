@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"switchpointer/internal/hostagent"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
@@ -71,23 +72,27 @@ func (a *Analyzer) diagnoseImbalance(ctx context.Context, q ImbalanceQuery) (*Re
 	rep.HostsContacted = len(hosts)
 	rep.Consulted = hosts
 
+	// Per-host flow-size queries fan out over the worker pool; the byLink
+	// merge below runs in sorted host order (and the per-link series are
+	// sorted afterwards anyway), so the report is identical for every
+	// worker count.
+	answers := make([][]hostagent.FlowSize, len(hosts))
+	dispatched, cerr := rpc.FanOut(ctx, a.workers(), len(hosts), func(ctx context.Context, i int) {
+		if hostAg, ok := a.Hosts[hosts[i]]; ok {
+			answers[i] = hostAg.QueryFlowSizes(ctx, q.Switch)
+		}
+	})
 	byLink := make(map[topo.LinkID][]uint64)
-	recCounts := make([]int, 0, len(hosts))
-	for _, ip := range hosts {
-		if ctx.Err() != nil {
-			chargePartial(rep, "diagnosis", hosts, recCounts)
-			return cancelled(rep, ctx, "host queries")
-		}
-		hostAg, ok := a.Hosts[ip]
-		if !ok {
-			recCounts = append(recCounts, 0)
-			continue
-		}
-		sizes := hostAg.QueryFlowSizes(ctx, q.Switch)
-		recCounts = append(recCounts, len(sizes))
-		for _, fs := range sizes {
+	recCounts := make([]int, dispatched)
+	for i := 0; i < dispatched; i++ {
+		recCounts[i] = len(answers[i])
+		for _, fs := range answers[i] {
 			byLink[fs.Link] = append(byLink[fs.Link], fs.Bytes)
 		}
+	}
+	if cerr != nil {
+		chargePartial(rep, "diagnosis", hosts, recCounts)
+		return cancelled(rep, ctx, "host queries")
 	}
 	clock.HostsQueried("diagnosis", hostNames(hosts), recCounts)
 

@@ -72,28 +72,31 @@ func (a *Analyzer) topK(ctx context.Context, q TopKQuery) (*Report, error) {
 	rep.HostsContacted = len(hosts)
 	rep.Consulted = hosts
 
+	// Per-host top-k queries fan out over the worker pool; each worker
+	// fills its own answer slot and the merge below runs in sorted host
+	// order, so the result is identical for every worker count.
+	answers := make([][]hostagent.FlowBytes, len(hosts))
+	dispatched, cerr := rpc.FanOut(ctx, a.workers(), len(hosts), func(ctx context.Context, i int) {
+		if hostAg, ok := a.Hosts[hosts[i]]; ok {
+			answers[i] = hostAg.QueryTopK(ctx, q.Switch, q.K)
+		}
+	})
 	merged := make(map[netsim.FlowKey]uint64)
-	recCounts := make([]int, 0, len(hosts))
-	for _, ip := range hosts {
-		if ctx.Err() != nil {
-			// Keep the answers already merged: the caller paid for these
-			// host queries and the partial Report must carry their data.
-			chargePartial(rep, "query-execution", hosts, recCounts)
-			rep.Flows = sortedFlows(merged, q.K)
-			return cancelled(rep, ctx, "query execution")
-		}
-		hostAg, ok := a.Hosts[ip]
-		if !ok {
-			recCounts = append(recCounts, 0)
-			continue
-		}
-		top := hostAg.QueryTopK(ctx, q.Switch, q.K)
-		recCounts = append(recCounts, len(top))
-		for _, fb := range top {
+	recCounts := make([]int, dispatched)
+	for i := 0; i < dispatched; i++ {
+		recCounts[i] = len(answers[i])
+		for _, fb := range answers[i] {
 			if fb.Bytes > merged[fb.Flow] {
 				merged[fb.Flow] = fb.Bytes
 			}
 		}
+	}
+	if cerr != nil {
+		// Keep the answers already merged: the caller paid for these host
+		// queries and the partial Report must carry their data.
+		chargePartial(rep, "query-execution", hosts, recCounts)
+		rep.Flows = sortedFlows(merged, q.K)
+		return cancelled(rep, ctx, "query execution")
 	}
 	clock.HostsQueried("query-execution", hostNames(hosts), recCounts)
 

@@ -1,0 +1,37 @@
+package flowrec
+
+import (
+	"testing"
+
+	"switchpointer/internal/header"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+)
+
+// TestAbsorbZeroAlloc gates the steady-state record path: absorbing another
+// packet of an already-known flow on an unchanged path (same trajectory,
+// already-seen exact epoch) performs zero heap allocations.
+func TestAbsorbZeroAlloc(t *testing.T) {
+	flow := netsim.FlowKey{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: netsim.ProtoTCP}
+	dec := header.Decoded{
+		Mode:   header.ModeCommodity,
+		Path:   []netsim.NodeID{1, 2, 3},
+		Epochs: []simtime.EpochRange{{Lo: 5, Hi: 5}, {Lo: 4, Hi: 6}, {Lo: 4, Hi: 7}},
+		TagIdx: 0,
+	}
+	p := &netsim.Packet{Flow: flow, Priority: 2, Size: 1500}
+	r := New(flow)
+	// First absorb takes the slow path (copies the trajectory).
+	r.Absorb(p, dec, 10)
+	now := simtime.Time(20)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Absorb(p, dec, now)
+		now += 10
+	})
+	if allocs != 0 {
+		t.Fatalf("Record.Absorb steady state: %v allocs/op, want 0", allocs)
+	}
+	if r.Pkts < 1000 || r.Bytes == 0 {
+		t.Fatalf("absorbs lost: %+v", r)
+	}
+}

@@ -52,6 +52,12 @@ func New(flow netsim.FlowKey) *Record {
 }
 
 // Absorb merges one received packet's decoded telemetry into the record.
+//
+// Absorb runs once per received packet and is allocation-free on the
+// steady-state path (flow already known, trajectory unchanged, exact epoch
+// already seen); only the first packet and path changes copy the decoded
+// trajectory. dec may alias decoder-owned scratch buffers — everything kept
+// is copied here.
 func (r *Record) Absorb(p *netsim.Packet, dec header.Decoded, now simtime.Time) {
 	if r.Pkts == 0 {
 		r.FirstSeen = now

@@ -106,21 +106,28 @@ func (d *Decoded) EpochAt(id netsim.NodeID) (simtime.EpochRange, bool) {
 // Divisions are taken as ceilings — the conservative reading that never
 // excludes a feasible epoch. The tagging switch itself gets [ei, ei].
 func ExtrapolateEpochs(n, tagIdx int, ei simtime.Epoch, p Params) []simtime.EpochRange {
-	out := make([]simtime.EpochRange, n)
+	return appendExtrapolatedEpochs(nil, n, tagIdx, ei, p)
+}
+
+// appendExtrapolatedEpochs is ExtrapolateEpochs into a caller-provided
+// buffer, the allocation-free form the per-packet decode path uses.
+func appendExtrapolatedEpochs(out []simtime.EpochRange, n, tagIdx int, ei simtime.Epoch, p Params) []simtime.EpochRange {
 	drift := simtime.Epoch(ceilDiv(p.Eps, p.Alpha))
-	for i := range out {
+	for i := 0; i < n; i++ {
+		var r simtime.EpochRange
 		switch {
 		case i == tagIdx:
-			out[i] = simtime.EpochRange{Lo: ei, Hi: ei}
+			r = simtime.EpochRange{Lo: ei, Hi: ei}
 		case i < tagIdx: // upstream: the packet was there earlier
 			j := simtime.Time(tagIdx - i)
 			span := simtime.Epoch(ceilDiv(p.Eps+j*p.Delta, p.Alpha))
-			out[i] = simtime.EpochRange{Lo: ei - span, Hi: ei + drift}
+			r = simtime.EpochRange{Lo: ei - span, Hi: ei + drift}
 		default: // downstream: the packet got there later
 			j := simtime.Time(i - tagIdx)
 			span := simtime.Epoch(ceilDiv(p.Eps+j*p.Delta, p.Alpha))
-			out[i] = simtime.EpochRange{Lo: ei - drift, Hi: ei + span}
+			r = simtime.EpochRange{Lo: ei - drift, Hi: ei + span}
 		}
+		out = append(out, r)
 	}
 	return out
 }
@@ -202,14 +209,41 @@ func (e *Embedder) EpochRuleUpdatesPerSecond() float64 {
 
 // Decoder is the host-side half: it turns received packets into Decoded
 // telemetry.
+//
+// Decoding runs once per received packet, so the decoder is built for zero
+// steady-state allocations: path reconstruction is memoized per
+// (src, dst, link) — routes are static once a topology is built, so the
+// reconstruction is a pure function of that key — and the per-switch epoch
+// ranges are computed into decoder-owned scratch buffers. The returned
+// Decoded therefore aliases decoder-owned memory and is only valid until
+// the next Decode call; consumers must copy what they keep (the host
+// agent's record absorption already does).
+//
+// A Decoder is NOT goroutine-safe: it is driven by the single-threaded
+// simulation loop. The analyzer's parallel query fan-out never touches it.
 type Decoder struct {
 	Topo   *topo.Topology
 	Mode   Mode
 	Params Params
+
+	paths       map[pathKey]pathVal  // memoized ReconstructPath results
+	pathScratch []netsim.NodeID      // INT-mode path scratch
+	epochs      []simtime.EpochRange // epoch-range scratch
+}
+
+type pathKey struct {
+	src, dst netsim.IPv4
+	link     topo.LinkID
+}
+
+type pathVal struct {
+	path   []netsim.NodeID
+	tagIdx int
 }
 
 // Decode extracts the path and per-switch epoch ranges from a packet
-// arriving at true time now at a host with the given clock.
+// arriving at true time now at a host with the given clock. The result
+// aliases decoder-owned buffers and is valid until the next Decode call.
 func (d *Decoder) Decode(p *netsim.Packet, now simtime.Time, hostClock *simtime.Clock) (Decoded, error) {
 	if d.Mode == ModeINT {
 		return d.decodeINT(p)
@@ -222,11 +256,41 @@ func (d *Decoder) decodeINT(p *netsim.Packet) (Decoded, error) {
 		return Decoded{}, fmt.Errorf("header: INT mode packet with empty stack (flow %s)", p.Flow)
 	}
 	dec := Decoded{Mode: ModeINT, TagIdx: -1}
+	dec.Path = d.pathScratch[:0]
+	dec.Epochs = d.epochs[:0]
 	for _, hop := range p.INT {
 		dec.Path = append(dec.Path, hop.Switch)
 		dec.Epochs = append(dec.Epochs, simtime.EpochRange{Lo: hop.Epoch, Hi: hop.Epoch})
 	}
+	d.pathScratch = dec.Path
+	d.epochs = dec.Epochs
 	return dec, nil
+}
+
+// InvalidatePaths drops the memoized path reconstructions. Scenarios that
+// mutate routing state mid-run (netsim.Switch.SetRoute, RouteOverride)
+// must call it so subsequent packets decode against the new routes; the
+// built-in topologies never reroute after construction.
+func (d *Decoder) InvalidatePaths() { d.paths = nil }
+
+// reconstructPath memoizes Topology.ReconstructPath: routing state is fixed
+// after topology construction (see InvalidatePaths for the escape hatch),
+// so the path for a (src, dst, link) key never changes. Errors are not
+// cached (they are cold paths by construction).
+func (d *Decoder) reconstructPath(src, dst netsim.IPv4, link topo.LinkID) ([]netsim.NodeID, int, error) {
+	k := pathKey{src: src, dst: dst, link: link}
+	if v, ok := d.paths[k]; ok {
+		return v.path, v.tagIdx, nil
+	}
+	path, tagIdx, err := d.Topo.ReconstructPath(src, dst, link)
+	if err != nil {
+		return nil, 0, err
+	}
+	if d.paths == nil {
+		d.paths = make(map[pathKey]pathVal)
+	}
+	d.paths[k] = pathVal{path: path, tagIdx: tagIdx}
+	return path, tagIdx, nil
 }
 
 func (d *Decoder) decodeCommodity(p *netsim.Packet, now simtime.Time, hostClock *simtime.Clock) (Decoded, error) {
@@ -236,7 +300,7 @@ func (d *Decoder) decodeCommodity(p *netsim.Packet, now simtime.Time, hostClock 
 	if hasLink {
 		link = topo.LinkID(linkTag.Value)
 	}
-	path, tagIdx, err := d.Topo.ReconstructPath(p.Flow.Src, p.Flow.Dst, link)
+	path, tagIdx, err := d.reconstructPath(p.Flow.Src, p.Flow.Dst, link)
 	if err != nil {
 		return Decoded{}, err
 	}
@@ -245,10 +309,11 @@ func (d *Decoder) decodeCommodity(p *netsim.Packet, now simtime.Time, hostClock 
 	}
 	if hasEpoch {
 		ei := simtime.Epoch(int32(epochTag.Value))
+		d.epochs = appendExtrapolatedEpochs(d.epochs[:0], len(path), tagIdx, ei, d.Params)
 		return Decoded{
 			Mode:   ModeCommodity,
 			Path:   path,
-			Epochs: ExtrapolateEpochs(len(path), tagIdx, ei, d.Params),
+			Epochs: d.epochs,
 			TagIdx: tagIdx,
 		}, nil
 	}
@@ -258,10 +323,11 @@ func (d *Decoder) decodeCommodity(p *netsim.Packet, now simtime.Time, hostClock 
 	local := hostClock.Local(now)
 	lo := simtime.EpochOf(local-d.Params.Eps-d.Params.Delta, d.Params.Alpha)
 	hi := simtime.EpochOf(local+d.Params.Eps, d.Params.Alpha)
+	d.epochs = append(d.epochs[:0], simtime.EpochRange{Lo: lo, Hi: hi})
 	return Decoded{
 		Mode:   ModeCommodity,
 		Path:   path,
-		Epochs: []simtime.EpochRange{{Lo: lo, Hi: hi}},
+		Epochs: d.epochs,
 		TagIdx: -1,
 	}, nil
 }

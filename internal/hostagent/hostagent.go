@@ -112,6 +112,7 @@ type Agent struct {
 	Received uint64
 
 	lastAlert map[netsim.FlowKey]simtime.Time
+	armed     bool // StartTriggers called
 	trigTimer interface{ Stop() bool }
 }
 
@@ -140,6 +141,9 @@ func (a *Agent) Config() Config { return a.cfg }
 
 func (a *Agent) onPacket(p *netsim.Packet, now simtime.Time) {
 	a.Received++
+	if a.armed && a.trigTimer == nil {
+		a.startTrigTimer()
+	}
 	a.Meters.Record(p, now)
 	dec, err := a.dec.Decode(p, now, a.host.Clock)
 	if err != nil {
@@ -153,16 +157,27 @@ func (a *Agent) onPacket(p *netsim.Packet, now simtime.Time) {
 
 // StartTriggers arms the millisecond monitor (the paper's "trigger measures
 // throughput every 1 ms and generates an alert ... if throughput drop is
-// more than 50%").
+// more than 50%"). The periodic scan itself starts lazily with the host's
+// first received packet: an idle host has nothing to monitor, and skipping
+// its ticks keeps the event queue proportional to *active* hosts rather
+// than cluster size.
 func (a *Agent) StartTriggers() {
-	if a.trigTimer != nil {
+	if a.armed {
 		return
 	}
+	a.armed = true
+	if a.Received > 0 {
+		a.startTrigTimer()
+	}
+}
+
+func (a *Agent) startTrigTimer() {
 	a.trigTimer = a.net.Engine.EveryWeak(a.cfg.MeterInterval, a.checkTriggers)
 }
 
 // StopTriggers disarms the monitor.
 func (a *Agent) StopTriggers() {
+	a.armed = false
 	if a.trigTimer != nil {
 		a.trigTimer.Stop()
 		a.trigTimer = nil
@@ -175,18 +190,17 @@ func (a *Agent) checkTriggers() {
 	if completed < 1 {
 		return
 	}
-	for _, flow := range a.Meters.Flows() {
-		m := a.Meters.Meter(flow)
+	a.Meters.ForEach(func(flow netsim.FlowKey, m *transport.Meter) {
 		prev := m.GbpsAt(completed - 1)
 		cur := m.GbpsAt(completed)
 		if prev < a.cfg.MinActiveGbps {
-			continue
+			return
 		}
 		if cur >= prev*(1-a.cfg.DropFraction) {
-			continue
+			return
 		}
 		if last, ok := a.lastAlert[flow]; ok && now-last < a.cfg.Cooldown {
-			continue
+			return
 		}
 		a.lastAlert[flow] = now
 		a.raise(Alert{
@@ -197,7 +211,7 @@ func (a *Agent) checkTriggers() {
 			PrevGbps:   prev,
 			CurGbps:    cur,
 		})
-	}
+	})
 }
 
 // InjectTimeout raises a TCP-timeout alert for a flow (the destination-side

@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"testing"
+
+	"switchpointer/internal/simtime"
+)
+
+// TestCloneZeroAlloc gates the pooled-clone contract: a steady-state
+// Clone/Release cycle reuses a pooled packet (including its INT capacity)
+// and performs zero heap allocations.
+func TestCloneZeroAlloc(t *testing.T) {
+	p := AllocPacket()
+	p.Flow = FlowKey{Src: IP(10, 0, 0, 1), Dst: IP(10, 0, 0, 2), SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	p.Size = 1500
+	for i := 0; i < 5; i++ {
+		p.AppendINT(HopRecord{Switch: NodeID(i), Epoch: simtime.Epoch(i)})
+	}
+	// Warm the pool with one clone cycle.
+	p.Clone().Release()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := p.Clone()
+		if len(c.INT) != len(p.INT) || c.Flow != p.Flow {
+			t.Fatal("bad clone")
+		}
+		c.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("Packet.Clone steady state: %v allocs/op, want 0", allocs)
+	}
+	p.Release()
+}
+
+// TestCloneIsDeep asserts Release-safety of clones: mutating the clone's
+// INT stack never aliases the original.
+func TestCloneIsDeep(t *testing.T) {
+	p := AllocPacket()
+	p.AppendINT(HopRecord{Switch: 1, Epoch: 2})
+	c := p.Clone()
+	c.INT[0].Switch = 99
+	c.AppendINT(HopRecord{Switch: 3, Epoch: 4})
+	if p.INT[0].Switch != 1 || len(p.INT) != 1 {
+		t.Fatalf("clone aliases original: %+v", p.INT)
+	}
+	c.Release()
+	p.Release()
+}
+
+// TestAllocPacketResetsState asserts a recycled packet comes back zeroed
+// (apart from retained INT capacity).
+func TestAllocPacketResetsState(t *testing.T) {
+	p := AllocPacket()
+	p.Flow = FlowKey{Src: 1}
+	p.Size = 77
+	p.hops = 3
+	p.PushTag(Tag{Type: TagLink, Value: 5})
+	p.AppendINT(HopRecord{Switch: 1})
+	p.Release()
+	q := AllocPacket()
+	if q.Size != 0 || q.NTag != 0 || q.hops != 0 || len(q.INT) != 0 || (q.Flow != FlowKey{}) {
+		t.Fatalf("recycled packet not reset: %+v", q)
+	}
+	q.Release()
+}

@@ -70,6 +70,12 @@ func (s *Switch) Ports() []*Port { return s.ports }
 func (s *Switch) Port(i int) *Port { return s.ports[i] }
 
 // SetRoute installs dst → out-port in the routing table.
+//
+// Routing state is expected to be static once traffic starts flowing:
+// host-side telemetry decoding memoizes path reconstruction per
+// (src, dst, link) on that assumption (header.Decoder). A scenario that
+// rewires routes mid-run must call InvalidatePaths on every decoder it
+// built, or stale trajectories will be silently attributed to new packets.
 func (s *Switch) SetRoute(dst IPv4, outPort int) {
 	if s.routes == nil {
 		s.routes = make(map[IPv4]int)
@@ -98,6 +104,7 @@ func (s *Switch) deliver(p *Packet, in *Port, now simtime.Time) {
 		if s.net.OnDrop != nil {
 			s.net.OnDrop(p, in, now)
 		}
+		p.Release()
 		return
 	}
 	p.hops++
@@ -115,12 +122,14 @@ func (s *Switch) deliver(p *Packet, in *Port, now simtime.Time) {
 			if s.net.OnDrop != nil {
 				s.net.OnDrop(p, in, now)
 			}
+			p.Release()
 			return
 		}
 		out = o
 	}
 	if out < 0 || out >= len(s.ports) {
 		s.NoRouteDrops++
+		p.Release()
 		return
 	}
 	outPort := s.ports[out]
@@ -184,9 +193,12 @@ func (h *Host) Send(p *Packet) {
 	h.nic.send(p)
 }
 
-// deliver implements Node.
+// deliver implements Node. Delivery to a host is a packet's terminal point:
+// after every receive handler has seen it, a pooled packet is recycled.
+// Handlers must therefore not retain the packet past their return.
 func (h *Host) deliver(p *Packet, in *Port, now simtime.Time) {
 	for _, fn := range h.handlers {
 		fn(p, now)
 	}
+	p.Release()
 }

@@ -13,6 +13,8 @@ package netsim
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"switchpointer/internal/simtime"
 )
@@ -27,9 +29,19 @@ func IP(a, b, c, d byte) IPv4 {
 	return IPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
 }
 
-// String formats the address in dotted-quad notation.
+// String formats the address in dotted-quad notation. It is called once per
+// contacted host per query round (cost-model server names), so it builds the
+// string directly instead of going through fmt.
 func (ip IPv4) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+	var buf [15]byte
+	b := strconv.AppendUint(buf[:0], uint64(byte(ip>>24)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip>>16)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip>>8)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip)), 10)
+	return string(b)
 }
 
 // Protocol is an IP protocol number.
@@ -114,6 +126,13 @@ const INTHopBytes = 8
 // Packet is a simulated packet. Size is the full on-wire size in bytes and
 // is what serialization delay and queue occupancy are computed from; when
 // telemetry headers are pushed, Size grows accordingly.
+//
+// Packets on the hot datapath are pooled: transports allocate with
+// AllocPacket and the simulator releases them back to the pool at their
+// terminal point (delivery to a host, or any drop). Receive handlers must
+// not retain a packet past their return; copy what they need into their own
+// state (the host agent's record absorption already does). Packets built
+// with a plain composite literal are never pooled and Release ignores them.
 type Packet struct {
 	ID       uint64
 	Flow     FlowKey
@@ -133,7 +152,36 @@ type Packet struct {
 
 	SentAt simtime.Time // stamped by the sender's transport
 
-	hops int // switch traversals, for the routing-loop guard
+	hops   int  // switch traversals, for the routing-loop guard
+	pooled bool // came from the packet pool; Release returns it there
+}
+
+// pktPool recycles packets (and their INT capacity) across the simulation's
+// send→deliver/drop lifecycle. sync.Pool keeps the steady-state per-packet
+// path allocation-free while remaining safe if packets are ever allocated
+// from multiple goroutines.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// AllocPacket returns a zeroed packet from the pool. The INT slice capacity
+// of the recycled packet is retained, so steady-state INT-mode telemetry
+// appends without reallocating.
+func AllocPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	intBuf := p.INT
+	*p = Packet{INT: intBuf[:0], pooled: true}
+	return p
+}
+
+// Release returns a pooled packet to the pool. It is a no-op for packets not
+// obtained from AllocPacket or Clone, so tests that build packets with
+// composite literals interoperate freely with the pooled datapath. Callers
+// must not touch the packet after releasing it.
+func (p *Packet) Release() {
+	if !p.pooled {
+		return
+	}
+	p.pooled = false
+	pktPool.Put(p)
 }
 
 // PushTag appends a VLAN tag to the stack and grows the wire size. It panics
@@ -158,18 +206,24 @@ func (p *Packet) TagOf(t TagType) (Tag, bool) {
 	return Tag{}, false
 }
 
-// AppendINT appends an INT hop record and grows the wire size.
+// AppendINT appends an INT hop record and grows the wire size. On pooled
+// packets the INT slice reuses recycled capacity, so at steady state the
+// append does not allocate.
 func (p *Packet) AppendINT(rec HopRecord) {
 	p.INT = append(p.INT, rec)
 	p.Size += INTHopBytes
 }
 
 // Clone returns a deep copy of the packet (used by tests and by fan-out
-// tooling; the datapath itself never copies packets).
+// tooling; the datapath itself never copies packets). The clone comes from
+// the packet pool and reuses recycled INT capacity, so a steady-state
+// clone/Release cycle performs zero heap allocations; release clones with
+// Release when done.
 func (p *Packet) Clone() *Packet {
-	c := *p
-	if p.INT != nil {
-		c.INT = append([]HopRecord(nil), p.INT...)
-	}
-	return &c
+	c := pktPool.Get().(*Packet)
+	intBuf := c.INT
+	*c = *p
+	c.pooled = true
+	c.INT = append(intBuf[:0], p.INT...)
+	return c
 }

@@ -17,7 +17,22 @@ type Port struct {
 	rateBps int64
 	delay   simtime.Time
 	peer    *Port
-	busy    bool
+
+	// Per-packet transmission is allocation-free and costs one event per
+	// packet on an uncongested link: instead of capturing the packet in
+	// per-event closures, the port keeps a FIFO of packets in flight
+	// (serializing or propagating) and schedules each packet's arrival at
+	// the instant its serialization starts. The transmitter's availability
+	// is tracked as a timestamp (freeAt); a separate drain event exists
+	// only while packets are actually waiting behind the transmitter. FIFO
+	// order is correct because transmit starts are non-decreasing in time,
+	// so arrivals over a constant-delay link are non-decreasing too, and
+	// the engine breaks equal-time ties in schedule order.
+	freeAt         simtime.Time
+	drainScheduled bool
+	propagating    pktRing
+	drainFn        func() // transmitter became free with work queued
+	arriveFn       func() // head of `propagating` reached the peer
 
 	// Counters (egress unless noted). These are the per-port counters that
 	// in-network baseline techniques sample.
@@ -59,21 +74,43 @@ func (pt *Port) send(p *Packet) {
 		if pt.net.OnDrop != nil {
 			pt.net.OnDrop(p, pt, pt.net.Engine.Now())
 		}
+		p.Release()
 		return
 	}
-	if !pt.busy {
-		pt.transmitNext()
+	if pt.drainScheduled {
+		return // transmitter busy, wakeup already booked
 	}
+	now := pt.net.Engine.Now()
+	if now >= pt.freeAt {
+		pt.transmitNext()
+		return
+	}
+	pt.scheduleDrain()
+}
+
+func (pt *Port) scheduleDrain() {
+	if pt.drainFn == nil {
+		pt.drainFn = pt.drain
+	}
+	pt.drainScheduled = true
+	pt.net.Engine.At(pt.freeAt, pt.drainFn)
+}
+
+// drain fires when the transmitter becomes free with packets waiting.
+func (pt *Port) drain() {
+	pt.drainScheduled = false
+	pt.transmitNext()
 }
 
 // transmitNext pops the next packet and models serialization + propagation.
+// The packet's arrival at the peer is scheduled immediately (serialization
+// time plus propagation delay); a drain event is booked only when more
+// packets are waiting behind the transmitter.
 func (pt *Port) transmitNext() {
 	p := pt.queue.Dequeue()
 	if p == nil {
-		pt.busy = false
 		return
 	}
-	pt.busy = true
 	now := pt.net.Engine.Now()
 	pt.TxBytes += uint64(p.Size)
 	pt.TxPkts++
@@ -81,16 +118,20 @@ func (pt *Port) transmitNext() {
 		pt.OnTransmit(p, now)
 	}
 	txTime := serializationTime(p.Size, pt.rateBps)
-	peer := pt.peer
-	// Serialization completes at now+txTime: the port is free for the next
-	// packet. The tail of the packet reaches the peer after the propagation
-	// delay on top of that.
-	pt.net.Engine.After(txTime, func() {
-		pt.net.Engine.After(pt.delay, func() {
-			peer.receive(p)
-		})
-		pt.transmitNext()
-	})
+	pt.freeAt = now + txTime
+	if pt.queue.Len() > 0 {
+		pt.scheduleDrain()
+	}
+	if pt.arriveFn == nil {
+		pt.arriveFn = pt.arrive
+	}
+	pt.propagating.push(p)
+	pt.net.Engine.After(txTime+pt.delay, pt.arriveFn)
+}
+
+// arrive fires when the oldest propagating packet reaches the peer.
+func (pt *Port) arrive() {
+	pt.peer.receive(pt.propagating.pop())
 }
 
 // receive hands an arriving packet to the owning node.

@@ -49,6 +49,15 @@ type CostModel struct {
 	// Pooled switches the analyzer to a connection pool: ConnInit is paid
 	// only on first contact with a server (the paper's proposed fix).
 	Pooled bool
+
+	// Parallel switches query-round accounting from the paper's sequential
+	// per-server model to the concurrent fan-out the analyzer actually runs:
+	// connections to all first-contact servers initiate concurrently, so a
+	// round costs ConnInit (once, if any server is new) + RTT + max(exec)
+	// instead of Σ ConnInit + RTT + max(exec). Keep it false to reproduce
+	// the paper's §6.2 sequential-bottleneck curves (Figs 7, 8, 12); set it
+	// (typically together with Pooled) for the parallel ablation.
+	Parallel bool
 }
 
 // DefaultCostModel returns costs calibrated to the paper's measurements:
@@ -151,8 +160,13 @@ func (c *Clock) PointersPulled(n int) {
 
 // HostsQueried accounts one query round to the named servers, where server i
 // scans recs[i] records. Connection initiation is sequential per server (or
-// pooled); execution and responses overlap across servers.
+// pooled); execution and responses overlap across servers. When the cost
+// model's Parallel flag is set it dispatches to HostsQueriedParallel.
 func (c *Clock) HostsQueried(phase string, servers []string, recs []int) {
+	if c.cost.Parallel {
+		c.HostsQueriedParallel(phase, servers, recs)
+		return
+	}
 	if len(servers) == 0 {
 		return
 	}
@@ -164,16 +178,41 @@ func (c *Clock) HostsQueried(phase string, servers []string, recs []int) {
 		c.connected[s] = true
 		init += c.cost.ConnInit
 	}
-	var maxExec simtime.Time
+	c.spend(phase, init+c.cost.RTT+c.maxExec(servers, recs))
+}
+
+// HostsQueriedParallel accounts one query round under the concurrent
+// fan-out model: all first-contact connections initiate concurrently, so
+// ConnInit is paid once per round (and, when pooled, only on rounds that
+// touch a not-yet-connected server) instead of once per server. The round
+// costs ConnInit(first-contact) + RTT + max(exec).
+func (c *Clock) HostsQueriedParallel(phase string, servers []string, recs []int) {
+	if len(servers) == 0 {
+		return
+	}
+	var init simtime.Time
+	for _, s := range servers {
+		if c.cost.Pooled && c.connected[s] {
+			continue
+		}
+		c.connected[s] = true
+		init = c.cost.ConnInit // overlapped: one initiation covers the round
+	}
+	c.spend(phase, init+c.cost.RTT+c.maxExec(servers, recs))
+}
+
+// maxExec returns the slowest per-server execution time of a round.
+func (c *Clock) maxExec(servers []string, recs []int) simtime.Time {
+	var max simtime.Time
 	for i := range servers {
 		n := 0
 		if i < len(recs) {
 			n = recs[i]
 		}
 		exec := c.cost.QueryExec + simtime.Time(n)*c.cost.QueryPerRecord
-		if exec > maxExec {
-			maxExec = exec
+		if exec > max {
+			max = exec
 		}
 	}
-	c.spend(phase, init+c.cost.RTT+maxExec)
+	return max
 }

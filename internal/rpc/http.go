@@ -2,11 +2,13 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"switchpointer/internal/bitset"
 	"switchpointer/internal/flowrec"
@@ -169,8 +171,24 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // HTTPClient is the analyzer-side client for the HTTP binding.
+//
+// Concurrency contract: an HTTPClient is goroutine-safe — all query methods
+// may be called concurrently (http.Client and http.Transport are themselves
+// concurrent-safe), which is what QueryHosts relies on to fan a round out
+// over many host agents at once. The flask deployment the paper measures
+// opens one connection per server per query (§6.2's sequential bottleneck);
+// NewPooledHTTPClient is the corresponding fix: a shared, keep-alive
+// http.Transport whose idle pool spans query rounds, so repeat rounds skip
+// connection initiation entirely — the real-network twin of the cost model's
+// Pooled+Parallel accounting.
 type HTTPClient struct {
 	HTTP *http.Client
+
+	// PerHostTimeout bounds each single host interaction (connection +
+	// request + response). Zero means no per-host bound; the round is then
+	// limited only by the caller's context. A slow or dead host therefore
+	// cannot stall a whole fan-out round beyond this bound.
+	PerHostTimeout time.Duration
 }
 
 // NewHTTPClient returns a client using the given http.Client (or the default
@@ -182,12 +200,45 @@ func NewHTTPClient(c *http.Client) *HTTPClient {
 	return &HTTPClient{HTTP: c}
 }
 
-func (c *HTTPClient) post(url string, req, resp any) error {
+// NewPooledHTTPClient returns a client over a dedicated pooled
+// http.Transport tuned for analyzer fan-out: generous idle-connection
+// limits so a 96-server query round keeps every connection alive for the
+// next round, and a default per-host timeout so one dead agent cannot hang
+// a diagnosis.
+func NewPooledHTTPClient() *HTTPClient {
+	tr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 8,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTPClient{
+		HTTP:           &http.Client{Transport: tr},
+		PerHostTimeout: 5 * time.Second,
+	}
+}
+
+// CloseIdleConnections drops pooled keep-alive connections.
+func (c *HTTPClient) CloseIdleConnections() { c.HTTP.CloseIdleConnections() }
+
+func (c *HTTPClient) post(ctx context.Context, url string, req, resp any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.PerHostTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.PerHostTimeout)
+		defer cancel()
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("rpc: marshal: %w", err)
 	}
-	httpResp, err := c.HTTP.Post(url, "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("rpc: request %s: %w", url, err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.HTTP.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("rpc: post %s: %w", url, err)
 	}
@@ -197,47 +248,78 @@ func (c *HTTPClient) post(url string, req, resp any) error {
 		return fmt.Errorf("rpc: %s: status %d: %s", url, httpResp.StatusCode, msg)
 	}
 	if resp == nil {
+		io.Copy(io.Discard, io.LimitReader(httpResp.Body, 1<<20)) //nolint:errcheck
 		return nil
 	}
-	return json.NewDecoder(httpResp.Body).Decode(resp)
+	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		return err
+	}
+	// Drain to EOF so the transport sees the response end and returns the
+	// connection to the idle pool — otherwise every chunked response kills
+	// its keep-alive connection and fan-out rounds re-pay connection setup.
+	io.Copy(io.Discard, io.LimitReader(httpResp.Body, 1<<20)) //nolint:errcheck
+	return nil
 }
 
 // QueryHeaders fetches matching records from a host agent at baseURL.
-func (c *HTTPClient) QueryHeaders(baseURL string, sw netsim.NodeID, epochs simtime.EpochRange) ([]*flowrec.Record, error) {
+func (c *HTTPClient) QueryHeaders(ctx context.Context, baseURL string, sw netsim.NodeID, epochs simtime.EpochRange) ([]*flowrec.Record, error) {
 	var out []*flowrec.Record
-	err := c.post(baseURL+"/headers", HeadersRequest{Switch: sw, EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out)
+	err := c.post(ctx, baseURL+"/headers", HeadersRequest{Switch: sw, EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out)
 	return out, err
 }
 
 // QueryTopK fetches a host's top-k flows through a switch.
-func (c *HTTPClient) QueryTopK(baseURL string, sw netsim.NodeID, k int) ([]hostagent.FlowBytes, error) {
+func (c *HTTPClient) QueryTopK(ctx context.Context, baseURL string, sw netsim.NodeID, k int) ([]hostagent.FlowBytes, error) {
 	var out []hostagent.FlowBytes
-	err := c.post(baseURL+"/topk", TopKRequest{Switch: sw, K: k}, &out)
+	err := c.post(ctx, baseURL+"/topk", TopKRequest{Switch: sw, K: k}, &out)
 	return out, err
 }
 
 // QueryFlowSizes fetches flow sizes + egress links at a switch from a host.
-func (c *HTTPClient) QueryFlowSizes(baseURL string, sw netsim.NodeID) ([]hostagent.FlowSize, error) {
+func (c *HTTPClient) QueryFlowSizes(ctx context.Context, baseURL string, sw netsim.NodeID) ([]hostagent.FlowSize, error) {
 	var out []hostagent.FlowSize
-	err := c.post(baseURL+"/flowsizes", FlowSizesRequest{Switch: sw}, &out)
+	err := c.post(ctx, baseURL+"/flowsizes", FlowSizesRequest{Switch: sw}, &out)
 	return out, err
 }
 
 // QueryPriority fetches a flow's priority from a host.
-func (c *HTTPClient) QueryPriority(baseURL string, flow netsim.FlowKey) (uint8, bool, error) {
+func (c *HTTPClient) QueryPriority(ctx context.Context, baseURL string, flow netsim.FlowKey) (uint8, bool, error) {
 	var out PriorityResponse
-	err := c.post(baseURL+"/priority", PriorityRequest{Flow: flow}, &out)
+	err := c.post(ctx, baseURL+"/priority", PriorityRequest{Flow: flow}, &out)
 	return out.Priority, out.Known, err
 }
 
 // PullPointers fetches a switch's pointer union for an epoch range.
-func (c *HTTPClient) PullPointers(baseURL string, epochs simtime.EpochRange) (*bitset.Set, PointersResponse, error) {
+func (c *HTTPClient) PullPointers(ctx context.Context, baseURL string, epochs simtime.EpochRange) (*bitset.Set, PointersResponse, error) {
 	var out PointersResponse
-	if err := c.post(baseURL+"/pointers", PointersRequest{EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out); err != nil {
+	if err := c.post(ctx, baseURL+"/pointers", PointersRequest{EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out); err != nil {
 		return nil, out, err
 	}
 	bits, err := out.Decode()
 	return bits, out, err
+}
+
+// HostResult is one host's outcome in a concurrent query round.
+type HostResult[T any] struct {
+	URL string
+	Val T
+	Err error
+}
+
+// QueryHosts fans fn out over the given base URLs on the shared bounded
+// worker pool (FanOut), preserving the partial-result contract: results[i]
+// corresponds to urls[i], only the dispatched prefix is returned, and the
+// per-URL order never depends on worker scheduling. fn typically wraps one
+// of the Query* methods; per-host failures land in the result's Err so one
+// dead agent does not abort the round. On cancellation the dispatched
+// prefix and ctx's error are returned together.
+func QueryHosts[T any](ctx context.Context, c *HTTPClient, workers int, urls []string, fn func(ctx context.Context, c *HTTPClient, url string) (T, error)) ([]HostResult[T], error) {
+	results := make([]HostResult[T], len(urls))
+	dispatched, err := FanOut(ctx, workers, len(urls), func(ctx context.Context, i int) {
+		results[i].URL = urls[i]
+		results[i].Val, results[i].Err = fn(ctx, c, urls[i])
+	})
+	return results[:dispatched], err
 }
 
 // Ensure topo.LinkID marshals as a plain number in FlowSize responses.

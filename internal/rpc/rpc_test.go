@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -156,7 +157,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 
 	s1 := tp.Switches()[0]
 	// Pointer pull over the wire.
-	bits, resp, err := client.PullPointers(swSrv.URL, simtime.EpochRange{Lo: 0, Hi: 2})
+	bits, resp, err := client.PullPointers(context.Background(), swSrv.URL, simtime.EpochRange{Lo: 0, Hi: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("pointer pull: covered=%v bits=%v", resp.Covered, bits.Indices())
 	}
 	// Headers query over the wire.
-	recs, err := client.QueryHeaders(hostSrv.URL, s1.NodeID(), simtime.EpochRange{Lo: 0, Hi: 2})
+	recs, err := client.QueryHeaders(context.Background(), hostSrv.URL, s1.NodeID(), simtime.EpochRange{Lo: 0, Hi: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("EpochBytes lost in JSON round trip")
 	}
 	// Top-k over the wire.
-	top, err := client.QueryTopK(hostSrv.URL, s1.NodeID(), 10)
+	top, err := client.QueryTopK(context.Background(), hostSrv.URL, s1.NodeID(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("topk = %+v", top)
 	}
 	// Flow sizes over the wire.
-	sizes, err := client.QueryFlowSizes(hostSrv.URL, s1.NodeID())
+	sizes, err := client.QueryFlowSizes(context.Background(), hostSrv.URL, s1.NodeID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,12 +192,12 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("flowsizes = %+v", sizes)
 	}
 	// Priority over the wire.
-	prio, known, err := client.QueryPriority(hostSrv.URL, flow)
+	prio, known, err := client.QueryPriority(context.Background(), hostSrv.URL, flow)
 	if err != nil || !known || prio != 2 {
 		t.Fatalf("priority = %d %v %v", prio, known, err)
 	}
 	// Unknown flow.
-	_, known, err = client.QueryPriority(hostSrv.URL, netsim.FlowKey{Src: 1})
+	_, known, err = client.QueryPriority(context.Background(), hostSrv.URL, netsim.FlowKey{Src: 1})
 	if err != nil || known {
 		t.Fatalf("unknown flow: %v %v", known, err)
 	}
@@ -231,7 +232,7 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 	// Client-side error surfaces.
 	client := NewHTTPClient(srv.Client())
-	if _, err := client.QueryTopK(srv.URL+"/nope", 1, 1); err == nil {
+	if _, err := client.QueryTopK(context.Background(), srv.URL+"/nope", 1, 1); err == nil {
 		t.Fatalf("404 should error")
 	}
 }

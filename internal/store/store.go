@@ -11,16 +11,38 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
+	"sync"
 
 	"switchpointer/internal/flowrec"
 	"switchpointer/internal/netsim"
 )
 
 // RecordStore indexes flow records by flow key and by traversed switch.
+//
+// The switch index memoizes its sorted per-switch record slices: BySwitch is
+// answered from cache on the steady-state path and the cache is invalidated
+// by Reindex exactly for the switches whose membership changed. Reindex
+// itself is a no-op (and allocation-free) when the record's path is
+// unchanged since it was last indexed — the common per-packet case.
+//
+// Concurrency: queries (BySwitch, Get, Lookup, All) are safe to run
+// concurrently with each other — the memo cache fill is the one mutation on
+// the query path and it is guarded by its own mutex, so the HTTP binding's
+// per-request goroutines cannot race it. Mutations (Get-create, Absorb on a
+// returned record, Reindex, Load) still require exclusive access relative
+// to queries: the simulated testbed is single-threaded and the analyzer's
+// fan-out dispatches each host at most once per round, which satisfies
+// this; the real HTTP binding serves queries only while the simulation is
+// idle (see rpc.NewHostHandler).
 type RecordStore struct {
 	recs     map[netsim.FlowKey]*flowrec.Record
 	bySwitch map[netsim.NodeID]map[netsim.FlowKey]struct{}
+	indexed  map[netsim.FlowKey][]netsim.NodeID // path as last indexed
+
+	mu     sync.Mutex                          // guards sorted
+	sorted map[netsim.NodeID][]*flowrec.Record // memoized BySwitch answers
 }
 
 // New returns an empty store.
@@ -28,6 +50,8 @@ func New() *RecordStore {
 	return &RecordStore{
 		recs:     make(map[netsim.FlowKey]*flowrec.Record),
 		bySwitch: make(map[netsim.NodeID]map[netsim.FlowKey]struct{}),
+		indexed:  make(map[netsim.FlowKey][]netsim.NodeID),
+		sorted:   make(map[netsim.NodeID][]*flowrec.Record),
 	}
 }
 
@@ -51,32 +75,65 @@ func (st *RecordStore) Lookup(flow netsim.FlowKey) (*flowrec.Record, bool) {
 }
 
 // Reindex must be called after a record's path may have changed so the
-// switch index stays consistent.
+// switch index stays consistent. Switches the record no longer traverses are
+// removed from the index (a rerouted flow must stop answering queries for
+// its old path), newly traversed switches are added, and only the affected
+// switches' memoized BySwitch answers are invalidated. When the path is
+// unchanged — the steady-state per-packet case — Reindex returns without
+// touching the index or the caches.
 func (st *RecordStore) Reindex(r *flowrec.Record) {
+	prev := st.indexed[r.Flow]
+	if slices.Equal(prev, r.Path) {
+		return
+	}
+	// Drop stale entries: switches on the old path but not the new one.
+	for _, sw := range prev {
+		if !slices.Contains(r.Path, sw) {
+			if m, ok := st.bySwitch[sw]; ok {
+				delete(m, r.Flow)
+			}
+			st.invalidate(sw)
+		}
+	}
 	for _, sw := range r.Path {
 		m, ok := st.bySwitch[sw]
 		if !ok {
 			m = make(map[netsim.FlowKey]struct{})
 			st.bySwitch[sw] = m
 		}
-		m[r.Flow] = struct{}{}
+		if _, had := m[r.Flow]; !had {
+			m[r.Flow] = struct{}{}
+			st.invalidate(sw)
+		}
 	}
+	st.indexed[r.Flow] = append(prev[:0], r.Path...)
+}
+
+func (st *RecordStore) invalidate(sw netsim.NodeID) {
+	st.mu.Lock()
+	delete(st.sorted, sw)
+	st.mu.Unlock()
 }
 
 // BySwitch returns all records whose path visits sw, in deterministic
-// (flow-key-sorted) order.
+// (flow-key-sorted) order. The result is memoized until a Reindex changes
+// the switch's membership; callers must treat it as read-only.
 func (st *RecordStore) BySwitch(sw netsim.NodeID) []*flowrec.Record {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if out, ok := st.sorted[sw]; ok {
+		return out
+	}
 	keys, ok := st.bySwitch[sw]
 	if !ok {
 		return nil
 	}
 	out := make([]*flowrec.Record, 0, len(keys))
 	for k := range keys {
-		if r, live := st.recs[k]; live && r.Traverses(sw) {
-			out = append(out, r)
-		}
+		out = append(out, st.recs[k])
 	}
 	sortRecords(out)
+	st.sorted[sw] = out
 	return out
 }
 
@@ -131,6 +188,8 @@ func (st *RecordStore) Load(r io.Reader) error {
 	}
 	st.recs = make(map[netsim.FlowKey]*flowrec.Record, len(snap.Records))
 	st.bySwitch = make(map[netsim.NodeID]map[netsim.FlowKey]struct{})
+	st.indexed = make(map[netsim.FlowKey][]netsim.NodeID, len(snap.Records))
+	st.sorted = make(map[netsim.NodeID][]*flowrec.Record)
 	for _, rec := range snap.Records {
 		st.recs[rec.Flow] = rec
 		st.Reindex(rec)

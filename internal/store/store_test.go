@@ -102,3 +102,65 @@ func TestLoadGarbage(t *testing.T) {
 		t.Fatalf("garbage should error")
 	}
 }
+
+// TestReindexRemovesStaleSwitches asserts the rerouting contract: when a
+// record's path changes, switches it no longer traverses stop returning it
+// from BySwitch (before PR 2 the index only ever grew, so a rerouted flow
+// kept answering queries for its old path).
+func TestReindexRemovesStaleSwitches(t *testing.T) {
+	st := New()
+	rec := addRecord(st, 1, 2, []netsim.NodeID{10, 11, 12}, 100)
+	if got := st.BySwitch(11); len(got) != 1 {
+		t.Fatalf("precondition: BySwitch(11) = %d", len(got))
+	}
+	// Reroute: the flow now takes 10→13→12.
+	rec.Absorb(&netsim.Packet{Flow: rec.Flow, Size: 50},
+		header.Decoded{
+			Path:   []netsim.NodeID{10, 13, 12},
+			Epochs: []simtime.EpochRange{{Lo: 7, Hi: 8}, {Lo: 7, Hi: 8}, {Lo: 7, Hi: 8}},
+			TagIdx: 0,
+		}, 1)
+	st.Reindex(rec)
+	if got := st.BySwitch(11); len(got) != 0 {
+		t.Fatalf("stale switch 11 still returns %d record(s)", len(got))
+	}
+	for _, sw := range []netsim.NodeID{10, 13, 12} {
+		if got := st.BySwitch(sw); len(got) != 1 {
+			t.Fatalf("BySwitch(%d) = %d, want 1", sw, len(got))
+		}
+	}
+}
+
+// TestReindexInvalidatesMemoizedBySwitch asserts the memoized sorted slices
+// refresh when membership changes.
+func TestReindexInvalidatesMemoizedBySwitch(t *testing.T) {
+	st := New()
+	addRecord(st, 1, 2, []netsim.NodeID{7}, 1)
+	first := st.BySwitch(7)
+	if len(first) != 1 {
+		t.Fatalf("BySwitch = %d", len(first))
+	}
+	// Memoized: a repeat query without mutation returns the cached slice.
+	if again := st.BySwitch(7); &again[0] != &first[0] {
+		t.Fatalf("BySwitch not memoized between mutations")
+	}
+	addRecord(st, 5, 2, []netsim.NodeID{7}, 2)
+	if got := st.BySwitch(7); len(got) != 2 {
+		t.Fatalf("memoized answer not invalidated: %d", len(got))
+	}
+}
+
+// TestReindexUnchangedPathIsCheap asserts the per-packet steady state: a
+// Reindex with an unchanged path allocates nothing.
+func TestReindexUnchangedPathIsCheap(t *testing.T) {
+	st := New()
+	rec := addRecord(st, 1, 2, []netsim.NodeID{10, 11}, 100)
+	st.BySwitch(10)
+	allocs := testing.AllocsPerRun(1000, func() { st.Reindex(rec) })
+	if allocs != 0 {
+		t.Fatalf("Reindex unchanged path: %v allocs/op, want 0", allocs)
+	}
+	if got := st.BySwitch(10); len(got) != 1 {
+		t.Fatalf("index lost: %d", len(got))
+	}
+}

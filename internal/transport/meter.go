@@ -34,9 +34,20 @@ func NewMeter(interval simtime.Time) *Meter {
 // Interval returns the bucket width.
 func (m *Meter) Interval() simtime.Time { return m.interval }
 
-// Record accounts bytes arriving at time now.
+// Record accounts bytes arriving at time now. Extending into a new bucket
+// is amortized allocation-free: the series grow geometrically and start with
+// enough room that short-lived meters never regrow.
 func (m *Meter) Record(bytes int, now simtime.Time) {
 	idx := int(now / m.interval)
+	if cap(m.buckets) <= idx {
+		n := 2 * (idx + 1)
+		if n < 64 {
+			n = 64
+		}
+		m.buckets = append(make([]uint64, 0, n), m.buckets...)
+		m.pkts = append(make([]uint32, 0, n), m.pkts...)
+		m.maxGap = append(make([]simtime.Time, 0, n), m.maxGap...)
+	}
 	for len(m.buckets) <= idx {
 		m.buckets = append(m.buckets, 0)
 		m.pkts = append(m.pkts, 0)
@@ -145,6 +156,18 @@ func (f *FlowMeters) Flows() []netsim.FlowKey {
 		out = append(out, k)
 	}
 	return out
+}
+
+// ForEach visits every tracked (flow, meter) pair without allocating.
+// Iteration order is unspecified; callers needing determinism must not
+// depend on it (the host agent's trigger scan treats flows independently).
+func (f *FlowMeters) ForEach(fn func(flow netsim.FlowKey, m *Meter)) {
+	if len(f.meters) == 0 {
+		return // skip map-iterator setup on the per-tick trigger scan
+	}
+	for k, m := range f.meters {
+		fn(k, m)
+	}
 }
 
 // AttachToPort installs the meter set as the port's transmit observer. This

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"switchpointer/internal/eventq"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/simtime"
 )
@@ -72,7 +73,7 @@ type TCPSender struct {
 	srtt, rttvar simtime.Time
 	hasRTT       bool
 	rto          simtime.Time
-	rtoTimer     *timerHandle
+	rtoTimer     eventq.Timer            // generation-counted: safe to Stop after fire
 	sentAt       map[uint32]simtime.Time // segment start → send time (for RTT; cleared on retransmit)
 
 	finished bool
@@ -87,8 +88,6 @@ type TCPSender struct {
 	RetransSegments uint64
 	CompletedAt     simtime.Time // when TotalBytes was fully acked (0 if not)
 }
-
-type timerHandle struct{ stop func() bool }
 
 // recoveryState tracks which loss-recovery regime the sender is in.
 type recoveryState uint8
@@ -221,15 +220,14 @@ func (s *TCPSender) trySend() {
 }
 
 func (s *TCPSender) emit(seq uint32, now simtime.Time, retrans bool) {
-	p := &netsim.Packet{
-		ID:       s.net.AllocPacketID(),
-		Flow:     s.cfg.Flow,
-		Priority: s.cfg.Priority,
-		Size:     s.cfg.MSS + s.cfg.HeaderBytes,
-		Payload:  s.cfg.MSS,
-		Seq:      seq,
-		SentAt:   now,
-	}
+	p := netsim.AllocPacket()
+	p.ID = s.net.AllocPacketID()
+	p.Flow = s.cfg.Flow
+	p.Priority = s.cfg.Priority
+	p.Size = s.cfg.MSS + s.cfg.HeaderBytes
+	p.Payload = s.cfg.MSS
+	p.Seq = seq
+	p.SentAt = now
 	s.SentSegments++
 	s.SentBytes += uint64(p.Size)
 	if retrans {
@@ -243,18 +241,13 @@ func (s *TCPSender) emit(seq uint32, now simtime.Time, retrans bool) {
 }
 
 func (s *TCPSender) armRTO(now simtime.Time) {
-	if s.rtoTimer != nil {
-		s.rtoTimer.stop()
-	}
-	t := s.net.Engine.At(now+s.rto, s.onRTO)
-	s.rtoTimer = &timerHandle{stop: t.Stop}
+	s.rtoTimer.Stop()
+	s.rtoTimer = s.net.Engine.At(now+s.rto, s.onRTO)
 }
 
 func (s *TCPSender) disarmRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.stop()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Stop()
+	s.rtoTimer = eventq.Timer{}
 }
 
 // onRTO fires when the retransmission timer expires: classic Reno timeout.
@@ -406,15 +399,14 @@ func (r *TCPReceiver) onData(p *netsim.Packet, now simtime.Time) {
 		}
 	}
 	r.GoodputBytes = uint64(r.cumAck)
-	ack := &netsim.Packet{
-		ID:       r.net.AllocPacketID(),
-		Flow:     r.flow.Reverse(),
-		Priority: r.prio,
-		Size:     r.hdr,
-		Flags:    netsim.FlagACK,
-		Ack:      r.cumAck,
-		SentAt:   now,
-	}
+	ack := netsim.AllocPacket()
+	ack.ID = r.net.AllocPacketID()
+	ack.Flow = r.flow.Reverse()
+	ack.Priority = r.prio
+	ack.Size = r.hdr
+	ack.Flags = netsim.FlagACK
+	ack.Ack = r.cumAck
+	ack.SentAt = now
 	r.AcksSent++
 	r.host.Send(ack)
 }

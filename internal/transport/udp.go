@@ -56,14 +56,13 @@ func StartUDP(net *netsim.Network, host *netsim.Host, cfg UDPConfig) *UDPSource 
 }
 
 func (s *UDPSource) send(now simtime.Time) {
-	p := &netsim.Packet{
-		ID:       s.net.AllocPacketID(),
-		Flow:     s.cfg.Flow,
-		Priority: s.cfg.Priority,
-		Size:     s.cfg.PktSize,
-		Payload:  s.cfg.PktSize - 28, // IP+UDP headers
-		SentAt:   now,
-	}
+	p := netsim.AllocPacket()
+	p.ID = s.net.AllocPacketID()
+	p.Flow = s.cfg.Flow
+	p.Priority = s.cfg.Priority
+	p.Size = s.cfg.PktSize
+	p.Payload = s.cfg.PktSize - 28 // IP+UDP headers
+	p.SentAt = now
 	s.Sent++
 	s.SentByte += uint64(p.Size)
 	s.host.Send(p)

@@ -1,0 +1,69 @@
+package switchpointer
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"switchpointer/internal/analyzer"
+	"switchpointer/internal/scenario"
+)
+
+// reportFingerprint flattens the determinism-relevant surface of a Report:
+// outcome, culprits, consulted hosts, payloads, and the full virtual-time
+// phase ledger. Two runs are "the same diagnosis" iff these match exactly.
+func reportFingerprint(rep *analyzer.Report) string {
+	return fmt.Sprintf("kind=%s conclusion=%q culprits=%+v cascade=%v links=%+v flows=%+v consulted=%v pointer=%d pruned=%d contacted=%d phases=%+v",
+		rep.Kind, rep.Conclusion, rep.Culprits, rep.Cascade, rep.Links, rep.Flows,
+		rep.Consulted, rep.PointerHosts, rep.PrunedHosts, rep.HostsContacted, rep.Clock.Phases())
+}
+
+// TestReportDeterminismAcrossWorkerCounts runs every alert-driven diagnosis
+// procedure with fan-out widths 1, 4 and 16 (and twice per width) and
+// requires identical Reports: the parallel merge must be a pure function of
+// the inputs, never of worker scheduling.
+func TestReportDeterminismAcrossWorkerCounts(t *testing.T) {
+	s, err := scenario.NewTooMuchTraffic(scenario.TooMuchTrafficConfig{M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := s.Testbed
+	tb.Run(110 * Millisecond)
+	alert, ok := tb.AlertFor(s.Victim)
+	if !ok {
+		t.Fatal("no alert")
+	}
+
+	queries := map[string]Query{
+		"contention": ContentionQuery{Alert: alert},
+		"red-lights": RedLightsQuery{Alert: alert},
+		"cascade":    CascadeQuery{Alert: alert},
+	}
+	golden := make(map[string]string)
+	goldenRep := make(map[string]*analyzer.Report)
+	for _, workers := range []int{1, 4, 16} {
+		tb.Analyzer.Workers = workers
+		for rep := 0; rep < 2; rep++ {
+			for name, q := range queries {
+				r, err := tb.Analyzer.Run(context.Background(), q)
+				if err != nil {
+					t.Fatalf("workers=%d %s: %v", workers, name, err)
+				}
+				fp := reportFingerprint(r)
+				if prev, seen := golden[name]; !seen {
+					golden[name] = fp
+					goldenRep[name] = r
+				} else if fp != prev {
+					t.Fatalf("workers=%d rep=%d: %s diverged\n--- golden ---\n%s\n--- got ---\n%s",
+						workers, rep, name, prev, fp)
+				} else if !reflect.DeepEqual(r.Culprits, goldenRep[name].Culprits) {
+					t.Fatalf("workers=%d: %s culprits differ structurally", workers, name)
+				}
+			}
+		}
+	}
+	if golden["contention"] == "" || len(goldenRep["contention"].Culprits) == 0 {
+		t.Fatal("contention diagnosis found no culprits; determinism test is vacuous")
+	}
+}

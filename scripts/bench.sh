@@ -1,0 +1,78 @@
+#!/bin/sh
+# Benchmark gate: runs the paper-figure benchmark suite (root package) with
+# -benchmem and emits a machine-readable JSON artifact so the performance
+# trajectory is tracked from PR 2 onward.
+#
+# Usage:  scripts/bench.sh [out.json]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 3x)
+#   PATTERN    -bench regexp           (default . — every benchmark)
+#
+# Output schema (out.json, default BENCH_PR2.json):
+#   {
+#     "benchtime": "3x",
+#     "baseline":  { "<Benchmark>": {"ns_per_op":…, "b_per_op":…,
+#                                    "allocs_per_op":…, "metrics":{…}} },
+#     "current":   { … same shape … }
+#   }
+# "current" is overwritten on every run. "baseline" is preserved when the
+# output file already has one (PR 2 seeded it with the pre-optimization
+# numbers); on a fresh file the first run becomes the baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR2.json}"
+BENCHTIME="${BENCHTIME:-3x}"
+PATTERN="${PATTERN:-.}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
+
+python3 - "$TMP" "$OUT" "$BENCHTIME" <<'EOF'
+import json, re, sys
+
+raw, out, benchtime = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def parse(path):
+    benches = {}
+    for line in open(path):
+        if not line.startswith("Benchmark"):
+            continue
+        fields = line.split()
+        if len(fields) < 4:
+            continue
+        name = re.sub(r"-\d+$", "", fields[0])
+        entry = {"iterations": int(fields[1]), "metrics": {}}
+        rest = fields[2:]
+        for val, unit in zip(rest[0::2], rest[1::2]):
+            try:
+                v = float(val)
+            except ValueError:
+                continue
+            if unit == "ns/op":
+                entry["ns_per_op"] = v
+            elif unit == "B/op":
+                entry["b_per_op"] = v
+            elif unit == "allocs/op":
+                entry["allocs_per_op"] = v
+            else:
+                entry["metrics"][unit] = v
+        benches[name] = entry
+    return benches
+
+current = parse(raw)
+doc = {"benchtime": benchtime, "baseline": current, "current": current}
+try:
+    prev = json.load(open(out))
+    if isinstance(prev, dict) and prev.get("baseline"):
+        doc["baseline"] = prev["baseline"]
+except (OSError, ValueError):
+    pass
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"bench: wrote {out} ({len(current)} benchmarks)")
+EOF

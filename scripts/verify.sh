@@ -8,6 +8,11 @@ go build ./...
 go vet ./...
 go test ./...
 
+# Race detector over the concurrent surface (analyzer fan-out, RPC fan-out +
+# HTTP client, host-agent query executors). Scoped to these packages so the
+# full gate stays fast.
+go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent
+
 mkdir -p bin
 go build -o bin/ ./cmd/...
 for d in examples/*/; do
