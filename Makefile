@@ -17,18 +17,21 @@ test:
 	$(GO) test ./...
 
 ## race: race detector over the concurrent surface (analyzer fan-out, RPC,
-## host-agent query executors) — scoped so the gate stays fast
+## host-agent query executors, sharded record store, event engine) — scoped
+## so the gate stays fast
 race:
-	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent
+	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq
 
-## bench: run the paper-figure benchmark suite with -benchmem and refresh
-## the machine-readable perf-trajectory artifact (BENCH_PR2.json)
+## bench: run the paper-figure benchmark suite with -benchmem, refresh the
+## machine-readable perf-trajectory artifact (BENCH_PR3.json; its baseline
+## froze the PR 2 numbers), and print the before/after delta
 bench:
 	scripts/bench.sh
 
-## bench-quick: one pass over every benchmark in every package
+## bench-quick: the inner perf loop — Fig 8 + simulator event rate (incl.
+## the scheduler ablation) only, one iteration, no artifact refresh
 bench-quick:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue' -benchmem -benchtime 1x .
 
 ## binaries: every cmd/ tool and examples/ program must compile
 binaries:

@@ -6,6 +6,7 @@
 package switchpointer
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -216,6 +217,56 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		tb.Net.RunUntil(horizon)
 	}
 	b.ReportMetric(float64(tb.Net.Engine.Processed())/float64(b.N), "events/iter")
+}
+
+// BenchmarkAblationEventQueue is the scheduler ablation: the same
+// simulator event-rate loop under the default calendar queue and the 4-ary
+// heap it replaced. Virtual-time results are byte-identical; only the
+// wall-clock cost of Engine.Step differs. Two load points: "idle" is the
+// single-flow dumbbell (a handful of standing events — the heap's best
+// case), "loaded" is a 16×16 dumbbell with 32 concurrent flows (the
+// standing population paper-scale experiments produce — where the
+// calendar's O(1) pop pays).
+func BenchmarkAblationEventQueue(b *testing.B) {
+	for _, load := range []struct {
+		name  string
+		eps   int
+		flows int
+	}{
+		{"idle", 2, 1},
+		{"loaded", 16, 32},
+	} {
+		for _, q := range []struct {
+			name string
+			opts []Option
+		}{
+			{"calendar", nil},
+			{"heap", []Option{WithHeapEventQueue()}},
+		} {
+			b.Run(load.name+"/"+q.name, func(b *testing.B) {
+				tb, err := New(Dumbbell(load.eps, load.eps), q.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for f := 0; f < load.flows; f++ {
+					src := tb.Host(fmt.Sprintf("L%d", f%load.eps+1))
+					dst := tb.Host(fmt.Sprintf("R%d", (f+f/load.eps)%load.eps+1))
+					StartUDP(tb.Net, src, UDPConfig{
+						Flow: FlowKey{Src: src.IP(), Dst: dst.IP(),
+							SrcPort: uint16(f + 1), DstPort: 2, Proto: 17},
+						RateBps: 1_000_000_000, Duration: simtime.Second * 3600,
+					})
+				}
+				b.ResetTimer()
+				horizon := tb.Net.Now()
+				for i := 0; i < b.N; i++ {
+					horizon += Millisecond
+					tb.Net.RunUntil(horizon)
+				}
+				b.ReportMetric(float64(tb.Net.Engine.Processed())/float64(b.N), "events/iter")
+			})
+		}
+	}
 }
 
 // BenchmarkAblationPacketMix quantifies the §6.1 acceptability argument:

@@ -108,27 +108,38 @@ func hostNames(ips []netsim.IPv4) []string {
 }
 
 // pullCandidates retrieves and decodes pointers for every (switch, epochs)
-// tuple through the directory backend, returning per-switch candidate
-// destination sets. Unknown switches are skipped; a ctx error or backend
-// failure aborts the remaining pulls and is returned. The pulls already
-// made are charged to the clock either way.
+// tuple in ONE batched round through the directory backend
+// (Directory.HostsBatch, which fans the per-switch pulls out over
+// rpc.FanOut), returning per-switch candidate destination sets. Unknown
+// switches are skipped; the first ctx error or backend failure is returned
+// together with the partial result. The pulls that actually completed are
+// charged to the clock either way, as a single round — so an alert costs
+// one pointer round trip regardless of path length (asserted via
+// rpc.Clock.PointerRounds).
 func (a *Analyzer) pullCandidates(ctx context.Context, clock *rpc.Clock, tuples []hostagent.AlertTuple) (map[netsim.NodeID][]netsim.IPv4, error) {
+	reqs := make([]SwitchEpochs, len(tuples))
+	for i, tup := range tuples {
+		reqs[i] = SwitchEpochs{Switch: tup.Switch, Epochs: tup.Epochs}
+	}
+	hosts, errs := a.Dir.HostsBatch(ctx, reqs)
 	out := make(map[netsim.NodeID][]netsim.IPv4, len(tuples))
 	pulled := 0
-	for _, tup := range tuples {
-		hosts, err := a.Dir.Hosts(ctx, tup.Switch, tup.Epochs)
-		if err != nil {
+	var firstErr error
+	for i := range reqs {
+		if err := errs[i]; err != nil {
 			if errors.Is(err, ErrUnknownSwitch) {
 				continue // skip the tuple, as before
 			}
-			clock.PointersPulled(pulled)
-			return out, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-		out[tup.Switch] = hosts
+		out[reqs[i].Switch] = hosts[i]
 		pulled++
 	}
 	clock.PointersPulled(pulled)
-	return out, nil
+	return out, firstErr
 }
 
 // pruneForVictim applies the search-radius reduction: a candidate host is

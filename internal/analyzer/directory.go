@@ -10,10 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"switchpointer/internal/bitset"
 	"switchpointer/internal/mph"
 	"switchpointer/internal/netsim"
+	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
 	"switchpointer/internal/switchagent"
 )
@@ -22,16 +24,25 @@ import (
 // against a switch the directory does not manage.
 var ErrUnknownSwitch = errors.New("analyzer: unknown switch")
 
+// SwitchEpochs names one (switch, epoch range) pointer pull of a batched
+// round: the per-switch element of an alert's tuple list.
+type SwitchEpochs struct {
+	Switch netsim.NodeID
+	Epochs simtime.EpochRange
+}
+
 // Directory is the analyzer's backend seam to the switch-resident pointer
 // directory (§4.1): everything the diagnosis procedures need from switch
 // pointer state goes through this interface, so the in-memory implementation
-// below can later be swapped for a sharded or remote one without touching the
-// procedures.
+// below can be swapped for the remote one (RemoteDirectory) or a sharded one
+// without touching the procedures.
 //
-// The three capabilities mirror the paper's directory-service roles:
+// The capabilities mirror the paper's directory-service roles:
 //
-//   - Hosts: pull the pointers a switch holds for an epoch range and expand
-//     them into the end-host set they name (the epoch-range scan);
+//   - Hosts/HostsBatch: pull the pointers switches hold for an epoch range
+//     and expand them into the end-host sets they name (the epoch-range
+//     scan); HostsBatch serves a whole alert's tuple list in one concurrent
+//     round instead of one pull per tuple;
 //   - IndexOf/IPAt/Len/Decode: the cluster-wide minimal perfect hash between
 //     end-host IPs and pointer-bitmap indices (the pointer lookup);
 //   - Distribute: install the MPH on every switch after a membership change
@@ -40,24 +51,32 @@ var ErrUnknownSwitch = errors.New("analyzer: unknown switch")
 // # Concurrency contract
 //
 // The analyzer's per-host query rounds fan out over a bounded worker pool
-// (rpc.FanOut), so an implementation must support:
+// (rpc.FanOut) and pointer pulls fan out inside HostsBatch, so an
+// implementation must support:
 //
-//   - Hosts, IndexOf, IPAt, Len, Decode: safe for concurrent calls. The
-//     built-in procedures currently issue pointer pulls from the
-//     coordinating goroutine only, but remote/sharded backends must not
-//     rely on that.
+//   - Hosts, HostsBatch, IndexOf, IPAt, Len, Decode: safe for concurrent
+//     calls, including multiple concurrent diagnoses over one directory.
 //   - Distribute: may mutate; callers serialize it against queries (it runs
 //     at membership changes, never during a diagnosis).
 //
-// Host agents, by contrast, are NOT required to tolerate concurrent queries
-// against the same agent: the fan-out dispatches each host exactly once per
-// round, so one worker owns one host's store at a time (the record store
-// memoizes query indexes on first use and relies on this).
+// Host agents tolerate any number of concurrent queries against the same
+// agent — including concurrently with the agent's own packet absorption:
+// the sharded record store (store.RecordStore) serves queries under
+// per-shard read locks. The former single-owner-per-round restriction is
+// gone; fan-out width is purely a throughput knob.
 type Directory interface {
 	// Hosts returns the end hosts named by switch sw's pointers over the
 	// epoch range, honouring ctx cancellation. It returns ErrUnknownSwitch
 	// (possibly wrapped) when sw is not part of the directory.
 	Hosts(ctx context.Context, sw netsim.NodeID, epochs simtime.EpochRange) ([]netsim.IPv4, error)
+	// HostsBatch performs every requested pull in one concurrent round —
+	// the batched form of Hosts that lets an alert's whole tuple list cost
+	// one round trip. hosts[i] and errs[i] report request reqs[i]; both
+	// slices always have len(reqs). Requests for switches outside the
+	// directory fail their slot with ErrUnknownSwitch (possibly wrapped)
+	// without affecting other slots; a cancelled ctx fails the undispatched
+	// remainder with ctx.Err().
+	HostsBatch(ctx context.Context, reqs []SwitchEpochs) (hosts [][]netsim.IPv4, errs []error)
 	// IndexOf returns the pointer-bitmap index of an end host.
 	IndexOf(ip netsim.IPv4) int
 	// IPAt returns the end host at a bitmap index.
@@ -70,13 +89,71 @@ type Directory interface {
 	Distribute() error
 }
 
+// hostIndex is the cluster-wide minimal perfect hash between end-host IPs
+// and pointer-bitmap indices, shared by every Directory backend. All methods
+// are read-only after construction and safe for concurrent use.
+type hostIndex struct {
+	table *mph.Table
+	ips   []netsim.IPv4 // index → IP
+}
+
+func newHostIndex(ips []netsim.IPv4) (hostIndex, error) {
+	if len(ips) == 0 {
+		return hostIndex{}, fmt.Errorf("analyzer: no end hosts")
+	}
+	keys := make([]uint32, len(ips))
+	for i, ip := range ips {
+		keys[i] = uint32(ip)
+	}
+	table, err := mph.Build(keys)
+	if err != nil {
+		return hostIndex{}, fmt.Errorf("analyzer: building MPH: %w", err)
+	}
+	x := hostIndex{table: table, ips: make([]netsim.IPv4, len(ips))}
+	for _, ip := range ips {
+		x.ips[table.Lookup(uint32(ip))] = ip
+	}
+	return x, nil
+}
+
+// Table returns the underlying hash table (what gets distributed to
+// switches).
+func (x hostIndex) Table() *mph.Table { return x.table }
+
+// Len returns the number of end hosts.
+func (x hostIndex) Len() int { return len(x.ips) }
+
+// IndexOf returns the bitmap index of an end host.
+func (x hostIndex) IndexOf(ip netsim.IPv4) int { return x.table.Lookup(uint32(ip)) }
+
+// IPAt returns the end host at a bitmap index.
+func (x hostIndex) IPAt(idx int) netsim.IPv4 { return x.ips[idx] }
+
+// Decode expands a pointer bitmap into the end-host IPs it names, sorted.
+func (x hostIndex) Decode(bits *bitset.Set) []netsim.IPv4 {
+	var out []netsim.IPv4
+	bits.ForEach(func(i int) bool {
+		if i < len(x.ips) {
+			out = append(out, x.ips[i])
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // MemoryDirectory is the default Directory: it owns the cluster-wide minimal
 // perfect hash and reaches the simulated switch agents directly (in a real
 // deployment this is the analyzer colocated with the control plane).
 type MemoryDirectory struct {
-	table    *mph.Table
-	ips      []netsim.IPv4 // index → IP
+	hostIndex
 	switches map[netsim.NodeID]*switchagent.Agent
+
+	// pullMu serializes pointer pulls per switch: switchagent.Agent mutates
+	// pull accounting and lazily advances its epoch, so concurrent pulls
+	// against one agent (overlapping diagnoses, batched rounds) must not
+	// interleave. Pulls against distinct switches proceed in parallel.
+	pullMu map[netsim.NodeID]*sync.Mutex
 }
 
 var _ Directory = (*MemoryDirectory)(nil)
@@ -85,20 +162,17 @@ var _ Directory = (*MemoryDirectory)(nil)
 // it to the given switch agents (which may be nil for an index-only
 // directory, e.g. in unit tests).
 func NewMemoryDirectory(ips []netsim.IPv4, switches map[netsim.NodeID]*switchagent.Agent) (*MemoryDirectory, error) {
-	if len(ips) == 0 {
-		return nil, fmt.Errorf("analyzer: no end hosts")
-	}
-	keys := make([]uint32, len(ips))
-	for i, ip := range ips {
-		keys[i] = uint32(ip)
-	}
-	table, err := mph.Build(keys)
+	idx, err := newHostIndex(ips)
 	if err != nil {
-		return nil, fmt.Errorf("analyzer: building MPH: %w", err)
+		return nil, err
 	}
-	d := &MemoryDirectory{table: table, ips: make([]netsim.IPv4, len(ips)), switches: switches}
-	for _, ip := range ips {
-		d.ips[table.Lookup(uint32(ip))] = ip
+	d := &MemoryDirectory{
+		hostIndex: idx,
+		switches:  switches,
+		pullMu:    make(map[netsim.NodeID]*sync.Mutex, len(switches)),
+	}
+	for sw := range switches {
+		d.pullMu[sw] = &sync.Mutex{}
 	}
 	return d, nil
 }
@@ -111,19 +185,6 @@ func BuildDirectory(ips []netsim.IPv4) (*MemoryDirectory, error) {
 	return NewMemoryDirectory(ips, nil)
 }
 
-// Table returns the underlying hash table (what gets distributed to
-// switches).
-func (d *MemoryDirectory) Table() *mph.Table { return d.table }
-
-// Len returns the number of end hosts.
-func (d *MemoryDirectory) Len() int { return len(d.ips) }
-
-// IndexOf returns the bitmap index of an end host.
-func (d *MemoryDirectory) IndexOf(ip netsim.IPv4) int { return d.table.Lookup(uint32(ip)) }
-
-// IPAt returns the end host at a bitmap index.
-func (d *MemoryDirectory) IPAt(idx int) netsim.IPv4 { return d.ips[idx] }
-
 // Hosts pulls switch sw's pointers for the epoch range and decodes them.
 func (d *MemoryDirectory) Hosts(ctx context.Context, sw netsim.NodeID, epochs simtime.EpochRange) ([]netsim.IPv4, error) {
 	if err := ctx.Err(); err != nil {
@@ -133,8 +194,51 @@ func (d *MemoryDirectory) Hosts(ctx context.Context, sw netsim.NodeID, epochs si
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownSwitch, sw)
 	}
-	res := ag.PullPointers(epochs)
+	res := d.pull(sw, ag, epochs)
 	return d.Decode(res.Hosts), nil
+}
+
+// pull serializes PullPointers per switch.
+func (d *MemoryDirectory) pull(sw netsim.NodeID, ag *switchagent.Agent, epochs simtime.EpochRange) switchagent.PullResult {
+	mu := d.pullMu[sw]
+	mu.Lock()
+	defer mu.Unlock()
+	return ag.PullPointers(epochs)
+}
+
+// fanOutSlots runs pull(i) for n request slots over the shared bounded
+// worker pool and returns one error per slot. Dispatch is sequential in
+// slot order (rpc.FanOut), so ctx-cancellation points are as deterministic
+// as a sequential loop; slots the cancellation prevented from dispatching
+// fail with the context's error. Shared by both directory backends'
+// HostsBatch and by RemoteDirectory.Distribute so the cancellation-tail
+// semantics cannot diverge between them.
+func fanOutSlots(ctx context.Context, workers, n int, pull func(ctx context.Context, i int) error) []error {
+	errs := make([]error, n)
+	dispatched, cerr := rpc.FanOut(ctx, workers, n, func(ctx context.Context, i int) {
+		errs[i] = pull(ctx, i)
+	})
+	for i := dispatched; i < n; i++ {
+		errs[i] = cerr
+	}
+	return errs
+}
+
+// HostsBatch pulls every requested switch's pointers in one concurrent
+// round over the shared bounded worker pool; per-request outcomes land in
+// their own slots, so worker scheduling never influences the result.
+func (d *MemoryDirectory) HostsBatch(ctx context.Context, reqs []SwitchEpochs) ([][]netsim.IPv4, []error) {
+	hosts := make([][]netsim.IPv4, len(reqs))
+	errs := fanOutSlots(ctx, 0, len(reqs), func(ctx context.Context, i int) error {
+		ag, ok := d.switches[reqs[i].Switch]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownSwitch, reqs[i].Switch)
+		}
+		res := d.pull(reqs[i].Switch, ag, reqs[i].Epochs)
+		hosts[i] = d.Decode(res.Hosts)
+		return nil
+	})
+	return hosts, errs
 }
 
 // Distribute installs the directory's hash table on every switch (§4.3).
@@ -145,15 +249,3 @@ func (d *MemoryDirectory) Distribute() error {
 	return nil
 }
 
-// Decode expands a pointer bitmap into the end-host IPs it names, sorted.
-func (d *MemoryDirectory) Decode(bits *bitset.Set) []netsim.IPv4 {
-	var out []netsim.IPv4
-	bits.ForEach(func(i int) bool {
-		if i < len(d.ips) {
-			out = append(out, d.ips[i])
-		}
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}

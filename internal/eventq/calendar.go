@@ -1,0 +1,477 @@
+package eventq
+
+import (
+	"slices"
+
+	"switchpointer/internal/simtime"
+)
+
+// calendarQueue is a bucketed calendar queue (R. Brown, CACM 1988 — the
+// scheduler ns-2/ns-3 reach for): virtual time is divided into fixed-width
+// buckets ("days") that wrap around a power-of-two table ("years"), and a
+// cursor walks the table in time order. For the near-monotonic schedules a
+// network simulator produces — almost every new event lands within a few
+// bucket widths of Now — both push and pop are O(1): push is an append into
+// the event's day, pop scans the cursor's day (≈1 entry when the table is
+// sized right) for the earliest due entry.
+//
+// Determinism is identical to the heap: pop always returns the globally
+// smallest (at, seq) entry, so the FIFO tie-break for same-time events is
+// preserved exactly. This holds because all same-`at` entries share one
+// bucket, the cursor-advance invariant below guarantees the first due entry
+// found is the global minimum, and tie runs are served in seq order from
+// the due buffer.
+//
+// Invariant: no live bucket-resident entry is earlier than the cursor's
+// window start (curTop - width). push repositions the cursor backwards when
+// an entry would land behind it; the cursor only advances past a bucket
+// after proving the bucket holds nothing due in its current-year window,
+// and an entry in [start, top) can live only in the cursor's bucket.
+//
+// Three mechanisms keep the O(1) claim honest on real simulator schedules:
+//
+//   - Tie-run extraction. Simulations synchronize: dozens of per-host meter
+//     ticks share one instant, and any bucket scheme puts simultaneous
+//     events in one bucket, making a naive per-pop bucket scan O(run) — the
+//     burst costs O(run²). When findHead's scan lands on a tie run it
+//     extracts the whole run in that same scan, sorts it once by seq
+//     (engine seq is globally monotonic, so a later push at the same time
+//     appends to the run in order), and serves the following pops O(1) from
+//     the due buffer.
+//
+//   - Population-tracked table size. The table doubles when occupancy
+//     exceeds two entries per bucket and halves by pairwise merge below one
+//     entry per two buckets. The merge keeps the width and reuses the lower
+//     half's backing arrays, so a drained-then-refilled queue schedules
+//     without reallocating — Step stays zero-alloc at steady state.
+//
+//   - Feedback-driven width. Every bucket-scan pop records its scan cost
+//     and the virtual-time gap to the previous pop; when a review window's
+//     mean scan cost exceeds a threshold, the width is re-derived from the
+//     measured mean gap and the table rebucketed. A static head-of-queue
+//     sample (Brown's original rule) mis-sizes exactly the schedules a
+//     simulator produces — a tie cluster or a dense packet burst at the
+//     head yields a near-zero width that turns every later pop into a
+//     bucket crawl. Measured gaps are immune, and a mis-sized table
+//     corrects itself within one window in either direction.
+type calendarQueue struct {
+	buckets [][]entry
+	mask    int  // len(buckets)-1; len is a power of two
+	shift   uint // bucket width is 1<<shift nanoseconds
+	count   int  // all pending entries (buckets + due run)
+
+	cur    int          // bucket the scan cursor is on
+	curTop simtime.Time // exclusive top of cur's current-year window
+
+	// due is the tie run currently being served, sorted by seq; dueHead
+	// indexes the next entry to pop. All due entries share one `at`, and
+	// every bucket-resident entry is strictly later.
+	due     []entry
+	dueHead int
+
+	// head memoizes a singleton found by the last scan so a peek
+	// immediately followed by pop (the Step/RunUntil cadence) costs one
+	// scan, matching the heap's O(1) peek.
+	headValid  bool
+	headBucket int
+	headSlot   int
+	head       entry
+
+	growAt   int // grow the table when count exceeds this
+	shrinkAt int // shrink the table when count falls below this (0 = never)
+
+	// Width-review feedback over bucket-scan pops, reset every
+	// calReviewWindow such pops. Due-buffer pops are excluded: tie runs
+	// cost O(1) regardless of width, and their zero gaps would drag the
+	// width estimate toward zero.
+	pops     int          // bucket-scan pops in the current window
+	gapSum   simtime.Time // summed pop-to-pop gaps (each clamped)
+	scanWork int          // buckets visited + entries inspected by findHead
+	lastAt   simtime.Time // previous pop's time
+	havePop  bool         // lastAt is meaningful
+}
+
+const (
+	// calMinBuckets floors the table size; tiny queues stay on one cheap
+	// 16-bucket year.
+	calMinBuckets = 16
+	// calInitShift is the bucket width (log2 nanoseconds) before feedback
+	// kicks in: 2^20 ns ≈ 1 ms.
+	calInitShift = 20
+	// calReviewWindow is how many bucket-scan pops are sampled between
+	// width reviews.
+	calReviewWindow = 128
+	// calScanThreshold is the mean per-pop scan work (buckets visited plus
+	// entries inspected) above which a review re-derives the width. A
+	// well-sized table costs ~2–3 per pop, so reviews trigger as soon as
+	// the mean drifts past double that.
+	calScanThreshold = 5
+	// calGapClamp bounds one gap's contribution to the width estimate so a
+	// single idle jump (a simulation advancing past dead air) cannot blow
+	// the width up for a whole window.
+	calGapClamp = simtime.Second
+)
+
+func newCalendarQueue() *calendarQueue {
+	c := &calendarQueue{
+		buckets: make([][]entry, calMinBuckets),
+		mask:    calMinBuckets - 1,
+		shift:   calInitShift,
+		growAt:  2 * calMinBuckets,
+	}
+	c.curTop = c.width()
+	return c
+}
+
+func (c *calendarQueue) length() int { return c.count }
+
+// width returns the bucket span. It is always a power of two, so the hot
+// path maps times to buckets with shifts instead of 64-bit divisions.
+func (c *calendarQueue) width() simtime.Time { return 1 << c.shift }
+
+func (c *calendarQueue) bucketOf(t simtime.Time) int {
+	return int(uint64(t>>c.shift) & uint64(c.mask))
+}
+
+// windowTop returns the exclusive top of the bucket window containing t.
+func (c *calendarQueue) windowTop(t simtime.Time) simtime.Time {
+	return (t>>c.shift + 1) << c.shift
+}
+
+func (c *calendarQueue) push(e entry) {
+	if c.dueHead < len(c.due) {
+		at := c.due[c.dueHead].at
+		if e.at == at {
+			// Engine seq is globally monotonic, so e is the run's newest
+			// entry and appending preserves the run's seq order.
+			c.due = append(c.due, e)
+			c.count++
+			return
+		}
+		if e.at < at {
+			// Only possible while the engine clock lags the run (idle
+			// RunUntil followed by an earlier schedule): the run is no
+			// longer the front, so return it to the table.
+			c.spillDue()
+		}
+	}
+	c.bucketPush(e)
+	c.count++
+	if c.count > c.growAt {
+		c.grow()
+	}
+}
+
+// bucketPush files an entry into its bucket, maintaining the cursor
+// invariant. It does not touch count.
+func (c *calendarQueue) bucketPush(e entry) {
+	// An empty table repositions unconditionally so the next scan starts at
+	// the only event instead of walking forward from a stale position.
+	if c.count == 0 || e.at < c.curTop-c.width() {
+		c.cur = c.bucketOf(e.at)
+		c.curTop = c.windowTop(e.at)
+	}
+	b := c.bucketOf(e.at)
+	c.buckets[b] = append(c.buckets[b], e)
+	if c.headValid && e.before(c.head) {
+		c.headValid = false
+	}
+}
+
+// spillDue returns an unserved tie run to the buckets (all entries share
+// one at, hence one bucket).
+func (c *calendarQueue) spillDue() {
+	for _, e := range c.due[c.dueHead:] {
+		c.bucketPush(e)
+	}
+	c.due = c.due[:0]
+	c.dueHead = 0
+}
+
+// peek returns the earliest entry without removing it. Callers must check
+// length.
+func (c *calendarQueue) peek() entry {
+	if c.dueHead < len(c.due) {
+		return c.due[c.dueHead]
+	}
+	c.findHead()
+	if c.dueHead < len(c.due) {
+		return c.due[c.dueHead]
+	}
+	return c.head
+}
+
+// pop removes and returns the earliest entry. Callers must check length.
+func (c *calendarQueue) pop() entry {
+	if c.dueHead == len(c.due) {
+		c.findHead()
+	}
+	if c.dueHead < len(c.due) {
+		e := c.due[c.dueHead]
+		c.dueHead++
+		if c.dueHead == len(c.due) {
+			c.due = c.due[:0]
+			c.dueHead = 0
+		}
+		c.count--
+		c.maybeShrink()
+		return e
+	}
+
+	e := c.head
+	b := c.buckets[c.headBucket]
+	n := len(b) - 1
+	b[c.headSlot] = b[n]
+	c.buckets[c.headBucket] = b[:n]
+	c.count--
+	c.headValid = false
+
+	// Feed the width review.
+	if c.havePop {
+		g := e.at - c.lastAt
+		if g > calGapClamp {
+			g = calGapClamp
+		}
+		c.gapSum += g
+	}
+	c.havePop = true
+	c.lastAt = e.at
+	c.pops++
+	if c.pops >= calReviewWindow {
+		c.review()
+	}
+
+	c.maybeShrink()
+	return e
+}
+
+func (c *calendarQueue) maybeShrink() {
+	if c.shrinkAt > 0 && c.count < c.shrinkAt {
+		c.shrink()
+	}
+}
+
+// findHead locates the globally earliest (at, seq) entry: a singleton is
+// cached in head, a tie run is extracted into the due buffer. count must
+// exceed the due buffer's residue (i.e. some entry lives in a bucket).
+func (c *calendarQueue) findHead() {
+	if c.headValid {
+		return
+	}
+	for {
+		cur, top := c.cur, c.curTop
+		for k := 0; k <= c.mask; k++ {
+			b := c.buckets[cur]
+			c.scanWork += 1 + len(b)
+			best := -1
+			run := 0
+			for i := range b {
+				if b[i].at >= top {
+					continue
+				}
+				switch {
+				case best < 0 || b[i].at < b[best].at:
+					best = i
+					run = 1
+				case b[i].at == b[best].at:
+					run++
+					if b[i].seq < b[best].seq {
+						best = i
+					}
+				}
+			}
+			if best >= 0 {
+				c.cur, c.curTop = cur, top
+				if run > 1 {
+					c.extractRun(cur, b[best].at)
+					return
+				}
+				c.head = b[best]
+				c.headBucket, c.headSlot = cur, best
+				c.headValid = true
+				return
+			}
+			cur = (cur + 1) & c.mask
+			top += c.width()
+		}
+		// A whole year held nothing due: the schedule is sparse relative to
+		// the table span. Jump the cursor straight to the earliest event's
+		// window instead of spinning through empty years.
+		c.scanWork += c.count
+		c.jumpToMin()
+	}
+}
+
+// extractRun moves every entry of bucket bi scheduled exactly at `at` — the
+// tie run at the queue's head — into the due buffer, sorted by seq. One
+// O(run log run) extraction replaces O(run) per-pop bucket scans that would
+// cost O(run²) across the burst.
+func (c *calendarQueue) extractRun(bi int, at simtime.Time) {
+	b := c.buckets[bi]
+	kept := b[:0]
+	for _, e := range b {
+		if e.at == at {
+			c.due = append(c.due, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	c.buckets[bi] = kept
+	// Swap-removes may have shuffled the bucket, so the run is not
+	// guaranteed to be in push order; sort restores the FIFO contract.
+	slices.SortFunc(c.due, func(a, b entry) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// review closes a sampling window: when scanning has been expensive, the
+// width is re-derived as ~2× the measured mean pop-to-pop gap (rounded up
+// to a power of two) and the table rebucketed at the new width. 2× keeps
+// bucket occupancy near one entry (the rounding-up already adds slack), so
+// the per-pop scan stays at a couple of inspections — comparable to the
+// 4-ary heap's sift cost even for small standing populations.
+func (c *calendarQueue) review() {
+	if c.scanWork/c.pops > calScanThreshold && c.count > 1 && c.gapSum > 0 {
+		target := 2 * c.gapSum / simtime.Time(c.pops)
+		s := uint(0)
+		for (1 << s) < target {
+			s++
+		}
+		if s != c.shift {
+			c.rebucket(s)
+		}
+	}
+	c.pops = 0
+	c.gapSum = 0
+	c.scanWork = 0
+}
+
+// jumpToMin repositions the cursor at the window of the earliest
+// bucket-resident event. At least one bucket must be non-empty.
+func (c *calendarQueue) jumpToMin() {
+	first := true
+	var min simtime.Time
+	for _, b := range c.buckets {
+		for _, e := range b {
+			if first || e.at < min {
+				min = e.at
+				first = false
+			}
+		}
+	}
+	c.cur = c.bucketOf(min)
+	c.curTop = c.windowTop(min)
+}
+
+// grow doubles the table at the current width so occupancy returns to ~1
+// entry/bucket; the width review keeps the width itself honest.
+func (c *calendarQueue) grow() {
+	n := 2 * len(c.buckets)
+	old := c.buckets
+	c.buckets = make([][]entry, n)
+	c.mask = n - 1
+	c.redistribute(old)
+	c.growAt = 2 * n
+	c.shrinkAt = n / 2
+}
+
+// rebucket redistributes every entry into a fresh table of the same size at
+// a new bucket width.
+func (c *calendarQueue) rebucket(shift uint) {
+	old := c.buckets
+	c.shift = shift
+	c.buckets = make([][]entry, len(old))
+	c.redistribute(old)
+}
+
+// shrink halves the table by pairwise merge at the same width: bucket i
+// absorbs bucket i+n, exactly preserving the (t/width) mod n mapping. The
+// lower half's backing arrays are reused, so a queue that drains and refills
+// at a steady small size never reallocates its buckets.
+func (c *calendarQueue) shrink() {
+	n := len(c.buckets) / 2
+	if n < calMinBuckets {
+		return
+	}
+	hasEntries := false
+	for i := 0; i < n; i++ {
+		if len(c.buckets[i+n]) > 0 {
+			c.buckets[i] = append(c.buckets[i], c.buckets[i+n]...)
+			c.buckets[i+n] = c.buckets[i+n][:0]
+		}
+		if len(c.buckets[i]) > 0 {
+			hasEntries = true
+		}
+	}
+	c.buckets = c.buckets[:n]
+	c.mask = n - 1
+	c.growAt = 2 * n
+	c.shrinkAt = 0
+	if n > calMinBuckets {
+		c.shrinkAt = n / 2
+	}
+	if hasEntries {
+		c.jumpToMin()
+	} else {
+		// No bucket-resident entries (anything live sits in the due
+		// buffer), so keep the cursor's time window but remap its bucket
+		// index — the (t/width) mod n mapping just changed, and the old
+		// index may exceed the halved table.
+		c.cur = c.bucketOf(c.curTop - c.width())
+	}
+	c.headValid = false
+}
+
+// drain hands every resident entry (in no particular order) to fn and
+// empties the queue, retaining the table, its learned width, and all
+// backing arrays for reuse. The width-review sampling state is reset: the
+// gaps observed before a drain say nothing about the schedule after the
+// queue refills.
+func (c *calendarQueue) drain(fn func(entry)) {
+	for _, e := range c.due[c.dueHead:] {
+		fn(e)
+	}
+	c.due = c.due[:0]
+	c.dueHead = 0
+	for i, b := range c.buckets {
+		for _, e := range b {
+			fn(e)
+		}
+		c.buckets[i] = b[:0]
+	}
+	c.count = 0
+	c.headValid = false
+	c.pops = 0
+	c.gapSum = 0
+	c.scanWork = 0
+	c.havePop = false
+}
+
+// redistribute reinserts every entry of the old table and repositions the
+// cursor at the new global minimum.
+func (c *calendarQueue) redistribute(old [][]entry) {
+	first := true
+	var min simtime.Time
+	for _, b := range old {
+		for _, e := range b {
+			i := c.bucketOf(e.at)
+			c.buckets[i] = append(c.buckets[i], e)
+			if first || e.at < min {
+				min = e.at
+				first = false
+			}
+		}
+	}
+	if !first {
+		c.cur = c.bucketOf(min)
+		c.curTop = c.windowTop(min)
+	}
+	c.headValid = false
+}

@@ -1,0 +1,340 @@
+package eventq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"switchpointer/internal/simtime"
+)
+
+// queueImpls enumerates the scheduling-queue implementations under test.
+// The random workloads drive the hybrid's population across both migration
+// thresholds (fill bursts cross hybridUp, drain bursts cross hybridDown),
+// so the heap↔calendar migrations are exercised by every property run.
+func queueImpls() map[string]func() pq {
+	return map[string]func() pq{
+		"heap":     func() pq { return &heapQueue{} },
+		"calendar": func() pq { return newCalendarQueue() },
+		"hybrid":   func() pq { return newHybridQueue() },
+	}
+}
+
+// TestCalendarMatchesHeapPopOrder is the property gate for the calendar
+// queue: under randomized push/pop workloads that respect the engine's
+// no-past-scheduling invariant, the calendar queue must pop byte-identically
+// to the heap — including the seq tie-break for simultaneous events. The
+// time distributions deliberately cover the shapes that stress a calendar
+// queue: dense near-monotonic schedules (the simulator's common case), heavy
+// ties, sparse jumps that force empty-year scans, far-future stragglers that
+// would skew a naive width estimate, and drain/refill cycles that cross the
+// resize thresholds both ways.
+func TestCalendarMatchesHeapPopOrder(t *testing.T) {
+	type dist struct {
+		name string
+		gap  func(r *rand.Rand) simtime.Time
+	}
+	dists := []dist{
+		{"near-monotonic", func(r *rand.Rand) simtime.Time { return simtime.Time(r.Intn(2000)) }},
+		{"heavy-ties", func(r *rand.Rand) simtime.Time { return simtime.Time(r.Intn(3)) * 100 }},
+		{"sparse-jumps", func(r *rand.Rand) simtime.Time {
+			if r.Intn(10) == 0 {
+				return simtime.Time(r.Intn(10)) * simtime.Second
+			}
+			return simtime.Time(r.Intn(50))
+		}},
+		{"far-stragglers", func(r *rand.Rand) simtime.Time {
+			if r.Intn(100) == 0 {
+				return simtime.Time(3600) * simtime.Second
+			}
+			return simtime.Time(r.Intn(500))
+		}},
+	}
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			h := &heapQueue{}
+			c := newCalendarQueue()
+			y := newHybridQueue()
+			var now simtime.Time
+			var seq uint64
+			push := func() {
+				e := entry{at: now + d.gap(r), seq: seq, idx: int32(seq)}
+				seq++
+				h.push(e)
+				c.push(e)
+				y.push(e)
+			}
+			popBoth := func() {
+				if h.peek() != c.peek() || h.peek() != y.peek() {
+					t.Fatalf("peek diverged: heap=%+v calendar=%+v hybrid=%+v", h.peek(), c.peek(), y.peek())
+				}
+				hp, cp, yp := h.pop(), c.pop(), y.pop()
+				if hp != cp || hp != yp {
+					t.Fatalf("pop diverged at now=%v: heap=%+v calendar=%+v hybrid=%+v", now, hp, cp, yp)
+				}
+				now = hp.at
+			}
+			for op := 0; op < 20000; op++ {
+				switch {
+				case h.length() == 0:
+					push()
+				case r.Intn(5) == 0:
+					// Drain bursts cross the shrink threshold.
+					for i := 0; i < r.Intn(40)+1 && h.length() > 0; i++ {
+						popBoth()
+					}
+				case r.Intn(2) == 0:
+					// Fill bursts cross the grow threshold.
+					for i := 0; i < r.Intn(40)+1; i++ {
+						push()
+					}
+				default:
+					popBoth()
+				}
+			}
+			for h.length() > 0 {
+				popBoth()
+			}
+			if c.length() != 0 || y.length() != 0 {
+				t.Fatalf("calendar retains %d, hybrid %d entries after heap drained", c.length(), y.length())
+			}
+		})
+	}
+}
+
+// TestEngineBehaviourBothQueues runs an end-to-end engine workload —
+// nested scheduling, cancellation, weak timers, RunUntil slicing — under
+// both queue options and requires the identical fire trace.
+func TestEngineBehaviourBothQueues(t *testing.T) {
+	run := func(opt Option) []string {
+		e := New(opt)
+		var trace []string
+		fire := func(tag string) func() {
+			return func() { trace = append(trace, fmt.Sprintf("%s@%d", tag, e.Now())) }
+		}
+		r := rand.New(rand.NewSource(7))
+		var timers []Timer
+		for i := 0; i < 500; i++ {
+			at := simtime.Time(r.Intn(5000))
+			timers = append(timers, e.At(at, fire(fmt.Sprintf("a%d", i))))
+		}
+		for i := 0; i < 100; i++ {
+			timers[r.Intn(len(timers))].Stop()
+		}
+		e.At(1000, func() {
+			trace = append(trace, "nest")
+			e.After(250, fire("nested"))
+		})
+		e.EveryWeak(333, func() { trace = append(trace, fmt.Sprintf("w@%d", e.Now())) })
+		e.RunUntil(2500)
+		e.Run()
+		trace = append(trace, fmt.Sprintf("end@%d/%d", e.Now(), e.Processed()))
+		return trace
+	}
+	heap := run(WithHeapQueue())
+	for name, opt := range map[string]Option{"calendar": WithCalendarQueue(), "hybrid": WithHybridQueue()} {
+		got := run(opt)
+		if len(heap) != len(got) {
+			t.Fatalf("trace lengths differ: heap=%d %s=%d", len(heap), name, len(got))
+		}
+		for i := range heap {
+			if heap[i] != got[i] {
+				t.Fatalf("trace diverged at %d: heap=%q %s=%q", i, heap[i], name, got[i])
+			}
+		}
+	}
+}
+
+// TestStepZeroAllocBothQueues gates the steady-state allocation contract
+// for each queue implementation explicitly (TestStepZeroAlloc covers the
+// default): with the arena free list and the queue's storage warm, a
+// schedule+Step cycle performs zero heap allocations.
+func TestStepZeroAllocBothQueues(t *testing.T) {
+	for name, opt := range map[string]Option{
+		"heap": WithHeapQueue(), "calendar": WithCalendarQueue(), "hybrid": WithHybridQueue(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			e := New(opt)
+			fn := func() {}
+			// Warm through a grow/shrink cycle so the steady state measured
+			// below reuses existing bucket storage.
+			for i := 0; i < 64; i++ {
+				e.At(e.Now()+simtime.Time(i), fn)
+			}
+			for e.Step() {
+			}
+			for i := 0; i < 256; i++ {
+				e.At(e.Now()+1, fn)
+				e.Step()
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				e.At(e.Now()+1, fn)
+				e.Step()
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: steady-state Step: %v allocs/op, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestCalendarSparseThenDense exercises the direct-search jump: a lone
+// far-future event after a dense burst must not be popped early, and a
+// fresh dense burst scheduled behind the jumped cursor must still pop first.
+func TestCalendarSparseThenDense(t *testing.T) {
+	e := New(WithCalendarQueue())
+	var got []simtime.Time
+	rec := func() { got = append(got, e.Now()) }
+	e.At(3600*simtime.Second, rec)
+	e.RunUntil(simtime.Second) // jumps the cursor to the straggler's window
+	if len(got) != 0 {
+		t.Fatalf("straggler fired early at %v", got)
+	}
+	// Schedule dense work far behind the cursor's jumped position.
+	for i := 0; i < 100; i++ {
+		e.At(simtime.Second+simtime.Time(i), rec)
+	}
+	e.Run()
+	if len(got) != 101 {
+		t.Fatalf("fired %d events, want 101", len(got))
+	}
+	for i := 0; i < 100; i++ {
+		if got[i] != simtime.Second+simtime.Time(i) {
+			t.Fatalf("event %d fired at %v", i, got[i])
+		}
+	}
+	if got[100] != 3600*simtime.Second {
+		t.Fatalf("straggler fired at %v", got[100])
+	}
+}
+
+// TestCalendarShrinkRemapsCursor is the regression gate for shrinking while
+// every live entry sits in the due buffer: the halved table changes the
+// (t/width) mod n mapping, and the scan cursor must be remapped even though
+// there is no bucket-resident minimum to jump to — otherwise the next
+// findHead indexes past the shortened bucket table.
+func TestCalendarShrinkRemapsCursor(t *testing.T) {
+	c := newCalendarQueue()
+	var seq uint64
+	push := func(at simtime.Time) {
+		c.push(entry{at: at, seq: seq, idx: int32(seq)})
+		seq++
+	}
+	w := c.width()
+	// Grow the table to 32 buckets (count 33 > growAt 32).
+	for i := 0; i < 33; i++ {
+		push(simtime.Time(i) * w)
+	}
+	// A 17-entry tie run in a bucket index above the post-shrink mask.
+	for i := 0; i < 17; i++ {
+		push(50 * w)
+	}
+	// Drain the singles, then serve two run entries from the due buffer —
+	// count passes below shrinkAt (16) with every live entry in the due
+	// buffer, so shrink runs with no bucket-resident entries.
+	for i := 0; i < 35; i++ {
+		c.pop()
+	}
+	if len(c.buckets) != calMinBuckets {
+		t.Fatalf("table not shrunk: %d buckets", len(c.buckets))
+	}
+	// New bucket-resident work while the run is still being served, then a
+	// full drain: pops must stay ordered and must not panic.
+	push(60 * w)
+	var last simtime.Time
+	n := 0
+	for c.length() > 0 {
+		e := c.pop()
+		if e.at < last {
+			t.Fatalf("pop order violated: %v after %v", e.at, last)
+		}
+		last = e.at
+		n++
+	}
+	if n != 16 || last != 60*w {
+		t.Fatalf("drained %d entries ending at %v, want 16 ending at %v", n, last, 60*w)
+	}
+}
+
+// TestHybridMigratesAcrossThresholds pins the hybrid's regime machinery
+// directly: filling past hybridUp must move every entry onto the calendar,
+// draining to hybridDown must move the remainder back to the heap, and pop
+// order must match the heap reference across both migrations — including a
+// tie run straddling a migration point.
+func TestHybridMigratesAcrossThresholds(t *testing.T) {
+	y := newHybridQueue()
+	h := &heapQueue{}
+	var seq uint64
+	push := func(at simtime.Time) {
+		e := entry{at: at, seq: seq, idx: int32(seq)}
+		seq++
+		y.push(e)
+		h.push(e)
+	}
+	// Fill well past hybridUp, with a tie cluster near the front.
+	for i := 0; i < 3*hybridUp; i++ {
+		push(simtime.Time(100 + (i%40)*25)) // many exact-time ties
+	}
+	if !y.inCal {
+		t.Fatalf("population %d did not migrate to calendar (up=%d)", y.length(), hybridUp)
+	}
+	if y.heap.length() != 0 {
+		t.Fatalf("heap regime retains %d entries after migration", y.heap.length())
+	}
+	// Drain everything; order must match the reference through the
+	// calendar→heap migration at hybridDown.
+	var now simtime.Time
+	refilled := false
+	for h.length() > 0 {
+		if y.length() != h.length() {
+			t.Fatalf("length diverged: hybrid=%d heap=%d", y.length(), h.length())
+		}
+		hp, yp := h.pop(), y.pop()
+		if hp != yp {
+			t.Fatalf("pop diverged at now=%v: heap=%+v hybrid=%+v", now, hp, yp)
+		}
+		now = hp.at
+		// Once: refill below the down-threshold so the heap regime is
+		// re-entered with live traffic, then crossed upward again.
+		if !refilled && h.length() == hybridDown-2 {
+			refilled = true
+			for i := 0; i < hybridUp; i++ {
+				push(now + simtime.Time(1+i))
+			}
+		}
+	}
+	if y.length() != 0 {
+		t.Fatalf("hybrid retains %d entries", y.length())
+	}
+	if y.inCal {
+		t.Fatal("empty hybrid still in calendar regime")
+	}
+}
+
+// BenchmarkQueuePopNearMonotonic is the scheduler ablation at the queue
+// level: a packet-arrival-like schedule (push one, pop one, small forward
+// gaps) over a standing population of pending events.
+func BenchmarkQueuePopNearMonotonic(b *testing.B) {
+	for _, standing := range []int{64, 4096} {
+		for name, mk := range queueImpls() {
+			b.Run(fmt.Sprintf("%s/standing=%d", name, standing), func(b *testing.B) {
+				q := mk()
+				r := rand.New(rand.NewSource(42))
+				var now simtime.Time
+				var seq uint64
+				for i := 0; i < standing; i++ {
+					q.push(entry{at: now + simtime.Time(r.Intn(10000)), seq: seq})
+					seq++
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e := q.pop()
+					now = e.at
+					q.push(entry{at: now + simtime.Time(r.Intn(2000)), seq: seq})
+					seq++
+				}
+			})
+		}
+	}
+}

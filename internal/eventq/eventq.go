@@ -9,13 +9,24 @@
 //
 // The engine is built for zero steady-state heap allocations and minimal GC
 // traffic: event bodies live in one engine-owned arena recycled through a
-// free list, the priority queue is a specialized pointer-free 4-ary heap
-// (entries carry the ordering keys inline plus an arena index, so sift swaps
-// incur no write barriers and the heap array is invisible to the garbage
-// collector), and Timer handles are generation-counted values so Stop on a
-// handle whose event has already fired and been recycled is a safe no-op.
-// At steady state (free list warm, heap at capacity) neither scheduling nor
-// Step allocates.
+// free list, the scheduling queue works on pointer-free entries (the
+// ordering keys inline plus an arena index, so the queue's arrays are
+// invisible to the garbage collector), and Timer handles are
+// generation-counted values so Stop on a handle whose event has already
+// fired and been recycled is a safe no-op. At steady state (free list warm,
+// queue at capacity) neither scheduling nor Step allocates.
+//
+// Three scheduling-queue implementations sit behind the same entry
+// contract. The default (hybrid.go) is calendar-backed: a bucketed calendar
+// queue (calendar.go) whose pop is O(1) for the near-monotonic schedules
+// the simulator produces, with a small-population heap regime below the
+// measured crossover (~64 pending events) where a heap's couple of inline
+// comparisons win. The pure 4-ary heap (heapq.go) the calendar replaced is
+// retained behind WithHeapQueue as the O(log n) reference for the property
+// tests and the `make bench` scheduler ablation, and WithCalendarQueue
+// selects the pure calendar. All three pop in identical order — globally
+// smallest (at, seq) — so the choice never changes simulation results,
+// only wall-clock speed.
 package eventq
 
 import (
@@ -67,16 +78,17 @@ func (t Timer) Stop() bool {
 	return true
 }
 
-// entry is one heap element: the ordering keys inline plus the arena index
-// of the event. Entries contain no pointers, so the heap array is never
-// scanned and sift swaps incur no write barriers.
+// entry is one scheduling-queue element: the ordering keys inline plus the
+// arena index of the event. Entries contain no pointers, so the queue's
+// arrays are never scanned and entry moves incur no write barriers.
 type entry struct {
 	at  simtime.Time
 	seq uint64
 	idx int32
 }
 
-// before reports strict heap ordering: earlier time first, FIFO tie-break.
+// before reports strict scheduling order: earlier time first, FIFO
+// tie-break.
 func (a entry) before(b entry) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -84,21 +96,71 @@ func (a entry) before(b entry) bool {
 	return a.seq < b.seq
 }
 
+// pq is the scheduling-queue contract: a min-queue over (at, seq). pop and
+// peek must return the globally smallest entry under before(), so every
+// implementation yields byte-identical simulations. pop and peek may only
+// be called while length() > 0. The engine itself always schedules on a
+// concrete *hybridQueue (pinned to a regime or adaptive) so the per-event
+// calls devirtualize; the interface exists for the property tests that
+// compare implementations.
+type pq interface {
+	push(entry)
+	pop() entry
+	peek() entry
+	length() int
+}
+
+var (
+	_ pq = (*heapQueue)(nil)
+	_ pq = (*calendarQueue)(nil)
+	_ pq = (*hybridQueue)(nil)
+)
+
 // Engine is a deterministic discrete-event scheduler over virtual time.
 // The zero value is not usable; construct with New.
 type Engine struct {
 	now       simtime.Time
 	seq       uint64
-	heap      []entry
+	q         *hybridQueue
 	events    []event // arena of event bodies
 	free      int32   // head of the recycled-slot list
 	processed uint64
 	strong    int // pending non-weak events
 }
 
-// New returns an empty engine positioned at virtual time zero.
-func New() *Engine {
-	return &Engine{free: noEvent}
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithHeapQueue selects the pure 4-ary-heap scheduling queue: O(log n) pop,
+// but insensitive to the shape of the schedule. Kept for the scheduler
+// ablation and as the reference implementation the calendar queue is
+// property-tested against.
+func WithHeapQueue() Option {
+	return func(e *Engine) { e.q = newPinnedQueue(modeHeapOnly) }
+}
+
+// WithCalendarQueue selects the pure bucketed calendar queue: O(1) push and
+// pop for the near-monotonic schedules the simulator produces, without the
+// default's small-population heap regime. Used by tests and ablations; most
+// callers want the default.
+func WithCalendarQueue() Option {
+	return func(e *Engine) { e.q = newPinnedQueue(modeCalendarOnly) }
+}
+
+// WithHybridQueue selects the calendar-backed hybrid queue explicitly (the
+// default: calendar at scale, heap regime below the crossover).
+func WithHybridQueue() Option {
+	return func(e *Engine) { e.q = newHybridQueue() }
+}
+
+// New returns an empty engine positioned at virtual time zero, scheduling on
+// the calendar-backed hybrid queue unless an Option overrides it.
+func New(opts ...Option) *Engine {
+	e := &Engine{free: noEvent, q: newHybridQueue()}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Now returns the current virtual time. During an event callback this is the
@@ -110,7 +172,7 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events still scheduled (including cancelled
 // events not yet reaped).
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.q.length() }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: that is always a logic error in a discrete simulation.
@@ -157,7 +219,7 @@ func (e *Engine) schedule(t simtime.Time, fn Func, weak bool) Timer {
 	ev := &e.events[i]
 	ev.fn = fn
 	ev.weak = weak
-	e.push(entry{at: t, seq: e.seq, idx: i})
+	e.q.push(entry{at: t, seq: e.seq, idx: i})
 	e.seq++
 	if !weak {
 		e.strong++
@@ -200,68 +262,13 @@ func (e *Engine) every(period simtime.Time, fn Func, weak bool) *Timer {
 	return t
 }
 
-// The priority queue is a 4-ary heap: compared to the binary layout it
-// halves the sift depth (and therefore the swap count) at the price of up to
-// three extra comparisons per level — a good trade when the comparison keys
-// live inline in the pointer-free entries, as the four children share cache
-// lines.
-
-// push appends an entry and restores the heap invariant (sift-up).
-func (e *Engine) push(it entry) {
-	h := append(e.heap, it)
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !h[i].before(h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-	e.heap = h
-}
-
-// pop removes and returns the earliest entry. Callers must check Pending.
-func (e *Engine) pop() entry {
-	h := e.heap
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h = h[:n]
-	e.heap = h
-	// Sift-down.
-	i := 0
-	for {
-		c := 4*i + 1
-		if c >= n {
-			break
-		}
-		min := c
-		hi := c + 4
-		if hi > n {
-			hi = n
-		}
-		for j := c + 1; j < hi; j++ {
-			if h[j].before(h[min]) {
-				min = j
-			}
-		}
-		if !h[min].before(h[i]) {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-	return top
-}
-
 // Step runs the single earliest pending event. It reports false when the
 // queue is empty. At steady state Step performs zero heap allocations: the
 // popped event's arena slot returns to the free list before its body runs,
 // so the body can reschedule without growing anything.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		it := e.pop()
+	for e.q.length() > 0 {
+		it := e.q.pop()
 		ev := &e.events[it.idx]
 		if ev.dead {
 			e.release(it.idx)
@@ -307,13 +314,14 @@ func (e *Engine) RunUntil(t simtime.Time) {
 func (e *Engine) RunFor(d simtime.Time) { e.RunUntil(e.now + d) }
 
 // peek reports the scheduled time of the earliest live event, discarding
-// cancelled entries from the top of the heap as it goes.
+// cancelled entries from the front of the queue as it goes.
 func (e *Engine) peek() (simtime.Time, bool) {
-	for len(e.heap) > 0 {
-		if !e.events[e.heap[0].idx].dead {
-			return e.heap[0].at, true
+	for e.q.length() > 0 {
+		top := e.q.peek()
+		if !e.events[top.idx].dead {
+			return top.at, true
 		}
-		e.release(e.pop().idx)
+		e.release(e.q.pop().idx)
 	}
 	return 0, false
 }

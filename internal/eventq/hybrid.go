@@ -1,0 +1,117 @@
+package eventq
+
+// hybridQueue is the engine's default scheduling queue: the bucketed
+// calendar queue (calendar.go) for the standing populations real
+// simulations produce, with a 4-ary-heap regime below a small population
+// threshold where the heap's two-or-three inline comparisons beat any
+// bucket scan. Measured on the simulator event-rate workloads, the
+// crossover sits around a few dozen pending events: a near-idle network
+// (single flow, ≈10 standing events) runs ~10% faster on the heap, while a
+// loaded one (tens of flows, ≈100+ standing events) runs ~30% faster on
+// the calendar.
+//
+// Entries live in exactly one regime at a time. Regime switches migrate
+// every entry and happen at deterministic population thresholds, so the
+// queue as a whole remains fully deterministic: both regimes pop the
+// globally smallest (at, seq) entry, hence pop order — and therefore every
+// simulation result — is identical to either pure implementation. The
+// thresholds carry 4× hysteresis so a population hovering at the boundary
+// cannot thrash migrations, and both regimes retain their backing storage
+// across switches, keeping steady-state Step allocation-free.
+type hybridQueue struct {
+	heap  heapQueue
+	cal   *calendarQueue
+	inCal bool
+	mode  queueMode
+}
+
+// queueMode pins a hybridQueue to one regime for the scheduler ablation
+// and the pure-implementation property tests. The engine always schedules
+// on a concrete *hybridQueue — pinned or adaptive — so the per-event
+// push/pop/peek calls devirtualize instead of going through an interface.
+type queueMode uint8
+
+const (
+	// modeAdaptive migrates between regimes at the population thresholds
+	// (the default).
+	modeAdaptive queueMode = iota
+	// modeHeapOnly schedules on the 4-ary heap forever.
+	modeHeapOnly
+	// modeCalendarOnly schedules on the calendar queue forever.
+	modeCalendarOnly
+)
+
+const (
+	// hybridUp moves scheduling onto the calendar when the heap regime's
+	// population reaches it.
+	hybridUp = 64
+	// hybridDown falls back to the heap when the calendar regime's
+	// population drains to it.
+	hybridDown = 16
+)
+
+func newHybridQueue() *hybridQueue {
+	return &hybridQueue{cal: newCalendarQueue()}
+}
+
+// newPinnedQueue returns a hybridQueue locked to one regime.
+func newPinnedQueue(mode queueMode) *hybridQueue {
+	q := &hybridQueue{cal: newCalendarQueue(), mode: mode}
+	if mode == modeCalendarOnly {
+		q.inCal = true
+	}
+	return q
+}
+
+func (q *hybridQueue) length() int {
+	if q.inCal {
+		return q.cal.length()
+	}
+	return q.heap.length()
+}
+
+func (q *hybridQueue) push(e entry) {
+	if q.inCal {
+		q.cal.push(e)
+		return
+	}
+	q.heap.push(e)
+	if q.mode == modeAdaptive && q.heap.length() >= hybridUp {
+		q.toCalendar()
+	}
+}
+
+func (q *hybridQueue) pop() entry {
+	if !q.inCal {
+		return q.heap.pop()
+	}
+	e := q.cal.pop()
+	if q.mode == modeAdaptive && q.cal.length() <= hybridDown {
+		q.toHeap()
+	}
+	return e
+}
+
+func (q *hybridQueue) peek() entry {
+	if q.inCal {
+		return q.cal.peek()
+	}
+	return q.heap.peek()
+}
+
+// toCalendar migrates every heap entry into the calendar. Heap order is
+// irrelevant: calendar push accepts entries in any order.
+func (q *hybridQueue) toCalendar() {
+	for _, e := range q.heap.h {
+		q.cal.push(e)
+	}
+	q.heap.h = q.heap.h[:0]
+	q.inCal = true
+}
+
+// toHeap drains the calendar into the heap. The calendar keeps its learned
+// bucket width and its backing arrays for the next upswing.
+func (q *hybridQueue) toHeap() {
+	q.cal.drain(func(e entry) { q.heap.push(e) })
+	q.inCal = false
+}

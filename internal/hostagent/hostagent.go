@@ -150,9 +150,12 @@ func (a *Agent) onPacket(p *netsim.Packet, now simtime.Time) {
 		a.DecodeErrors++
 		return
 	}
-	rec := a.Store.Get(p.Flow)
+	// Acquire/Release holds the flow's shard write-locked across the
+	// mutation, so concurrent query executors never see a half-absorbed
+	// record. The pair is allocation-free at steady state.
+	rec := a.Store.Acquire(p.Flow)
 	rec.Absorb(p, dec, now)
-	a.Store.Reindex(rec)
+	a.Store.Release(rec)
 }
 
 // StartTriggers arms the millisecond monitor (the paper's "trigger measures
@@ -249,6 +252,12 @@ func (a *Agent) raise(al Alert) {
 // Every executor takes a context so a long distributed query can be
 // cancelled or deadline-bounded end to end: the analyzer passes its query
 // context, and the HTTP binding passes the request context.
+//
+// Executors are safe for concurrent invocation against the same agent —
+// any number at once, and concurrently with the agent's own packet
+// absorption: the sharded record store serves them under per-shard read
+// locks (see store.RecordStore), so the HTTP binding runs fully
+// multi-threaded with no single-owner-per-round restriction.
 
 // HeadersQuery asks for records of flows that traversed a switch during an
 // epoch range.
@@ -265,13 +274,13 @@ func (a *Agent) QueryHeaders(ctx context.Context, q HeadersQuery) []*flowrec.Rec
 		return nil
 	}
 	var out []*flowrec.Record
-	for _, rec := range a.Store.BySwitch(q.Switch) {
+	a.Store.QueryBySwitch(q.Switch, func(rec *flowrec.Record) bool {
 		er, ok := rec.EpochsAt(q.Switch)
-		if !ok || !er.Overlaps(q.Epochs) {
-			continue
+		if ok && er.Overlaps(q.Epochs) {
+			out = append(out, rec.Clone())
 		}
-		out = append(out, rec.Clone())
-	}
+		return true
+	})
 	return out
 }
 
@@ -287,11 +296,11 @@ func (a *Agent) QueryTopK(ctx context.Context, sw netsim.NodeID, k int) []FlowBy
 	if ctx.Err() != nil {
 		return nil
 	}
-	recs := a.Store.BySwitch(sw)
-	out := make([]FlowBytes, 0, len(recs))
-	for _, r := range recs {
+	out := make([]FlowBytes, 0, len(a.Store.BySwitch(sw))) // memoized; sizes the answer
+	a.Store.QueryBySwitch(sw, func(r *flowrec.Record) bool {
 		out = append(out, FlowBytes{Flow: r.Flow, Bytes: r.Bytes})
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Bytes != out[j].Bytes {
 			return out[i].Bytes > out[j].Bytes
@@ -318,11 +327,11 @@ func (a *Agent) QueryFlowSizes(ctx context.Context, sw netsim.NodeID) []FlowSize
 	if ctx.Err() != nil {
 		return nil
 	}
-	recs := a.Store.BySwitch(sw)
-	out := make([]FlowSize, 0, len(recs))
-	for _, r := range recs {
+	out := make([]FlowSize, 0, len(a.Store.BySwitch(sw))) // memoized; sizes the answer
+	a.Store.QueryBySwitch(sw, func(r *flowrec.Record) bool {
 		out = append(out, FlowSize{Flow: r.Flow, Bytes: r.Bytes, Link: r.TagLink})
-	}
+		return true
+	})
 	return out
 }
 
@@ -331,8 +340,7 @@ func (a *Agent) QueryPriority(ctx context.Context, flow netsim.FlowKey) (uint8, 
 	if ctx.Err() != nil {
 		return 0, false
 	}
-	if rec, ok := a.Store.Lookup(flow); ok {
-		return rec.Priority, true
-	}
-	return 0, false
+	var prio uint8
+	known := a.Store.View(flow, func(rec *flowrec.Record) { prio = rec.Priority })
+	return prio, known
 }

@@ -37,10 +37,11 @@ const (
 	DefaultHostBufBytes   = 8 << 20
 )
 
-// New returns an empty network with a fresh event engine.
-func New() *Network {
+// New returns an empty network with a fresh event engine. Engine options
+// (e.g. eventq.WithHeapQueue for the scheduler ablation) pass through.
+func New(engineOpts ...eventq.Option) *Network {
 	n := &Network{
-		Engine: eventq.New(),
+		Engine: eventq.New(engineOpts...),
 		byID:   make(map[NodeID]Node),
 		byIP:   make(map[IPv4]*Host),
 	}

@@ -87,12 +87,18 @@ func (c CostModel) Validate() error {
 }
 
 // Clock tracks the analyzer's position in virtual time as a diagnosis
-// proceeds, together with a per-phase breakdown ledger.
+// proceeds, together with a per-phase breakdown ledger and round counters
+// that let tests assert *how* a cost was incurred (batched vs sequential)
+// independently of the virtual-time total.
 type Clock struct {
 	cost      CostModel
 	now       simtime.Time
 	connected map[string]bool // servers with pooled connections
 	phases    []Phase
+
+	pullRounds   int // batched pointer-pull rounds (PointersPulled calls)
+	pullsCharged int // individual switch pulls across all rounds
+	queryRounds  int // host query rounds (HostsQueried calls)
 }
 
 // Phase is one named span of a diagnosis timeline.
@@ -149,14 +155,32 @@ func (c *Clock) Spend(name string, d simtime.Time) { c.spend(name, d) }
 func (c *Clock) AlertDelivered() { c.spend("alert", c.cost.AlertSend) }
 
 // PointersPulled accounts retrieving pointers from n switches in one
-// overlapping round.
+// overlapping (batched) round: the first pull costs PointerPull, each
+// additional switch in the round only the marginal PointerPullExtra. One
+// call = one round trip; Analyzer.pullCandidates issues exactly one per
+// alert since the pulls go through Directory.HostsBatch.
 func (c *Clock) PointersPulled(n int) {
 	if n <= 0 {
 		return
 	}
+	c.pullRounds++
+	c.pullsCharged += n
 	d := c.cost.PointerPull + simtime.Time(n-1)*c.cost.PointerPullExtra
 	c.spend("pointer-retrieval", d)
 }
+
+// PointerRounds returns how many batched pointer-pull round trips have been
+// charged, and PointersCharged how many individual switch pulls they
+// covered. The batching invariant the analyzer maintains is one round per
+// alert regardless of path length.
+func (c *Clock) PointerRounds() int { return c.pullRounds }
+
+// PointersCharged returns the number of individual switch pulls charged
+// across all rounds.
+func (c *Clock) PointersCharged() int { return c.pullsCharged }
+
+// QueryRounds returns how many host query rounds have been charged.
+func (c *Clock) QueryRounds() int { return c.queryRounds }
 
 // HostsQueried accounts one query round to the named servers, where server i
 // scans recs[i] records. Connection initiation is sequential per server (or
@@ -170,6 +194,7 @@ func (c *Clock) HostsQueried(phase string, servers []string, recs []int) {
 	if len(servers) == 0 {
 		return
 	}
+	c.queryRounds++
 	var init simtime.Time
 	for _, s := range servers {
 		if c.cost.Pooled && c.connected[s] {
@@ -190,6 +215,7 @@ func (c *Clock) HostsQueriedParallel(phase string, servers []string, recs []int)
 	if len(servers) == 0 {
 		return
 	}
+	c.queryRounds++
 	var init simtime.Time
 	for _, s := range servers {
 		if c.cost.Pooled && c.connected[s] {

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"switchpointer/internal/bitset"
 	"switchpointer/internal/flowrec"
 	"switchpointer/internal/hostagent"
+	"switchpointer/internal/mph"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/simtime"
 	"switchpointer/internal/switchagent"
@@ -58,6 +60,12 @@ type PriorityResponse struct {
 type PointersRequest struct {
 	EpochLo simtime.Epoch `json:"epoch_lo"`
 	EpochHi simtime.Epoch `json:"epoch_hi"`
+}
+
+// MPHRequest installs a freshly built minimal perfect hash on a switch —
+// the wire form of the analyzer's §4.3 distribution responsibility.
+type MPHRequest struct {
+	TableB64 string `json:"table_b64"`
 }
 
 // PointersResponse carries the pointer bitmap and how it was satisfied.
@@ -122,14 +130,23 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 }
 
 // NewSwitchHandler exposes a switch agent's pointer pulls over HTTP.
+// net/http serves requests concurrently but switchagent.Agent is not
+// concurrency-safe (pulls rotate epochs and mutate accounting), so the
+// handler serializes agent access — the server-side twin of the per-switch
+// pull mutexes in analyzer.MemoryDirectory. Pulls against DIFFERENT
+// switches (separate handlers) still proceed in parallel, which is what
+// the batched round relies on.
 func NewSwitchHandler(a *switchagent.Agent) http.Handler {
+	var mu sync.Mutex
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pointers", func(w http.ResponseWriter, r *http.Request) {
 		var req PointersRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
+		mu.Lock()
 		res := a.PullPointers(simtime.EpochRange{Lo: req.EpochLo, Hi: req.EpochHi})
+		mu.Unlock()
 		raw, err := res.Hosts.MarshalBinary()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -142,6 +159,26 @@ func NewSwitchHandler(a *switchagent.Agent) http.Handler {
 			Covered:  res.Info.Covered,
 			Source:   res.Source,
 		})
+	})
+	mux.HandleFunc("/mph", func(w http.ResponseWriter, r *http.Request) {
+		var req MPHRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		raw, err := base64.StdEncoding.DecodeString(req.TableB64)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var table mph.Table
+		if err := table.UnmarshalBinary(raw); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		a.InstallMPH(&table)
+		mu.Unlock()
+		writeJSON(w, struct{}{})
 	})
 	return mux
 }
@@ -287,6 +324,16 @@ func (c *HTTPClient) QueryPriority(ctx context.Context, baseURL string, flow net
 	var out PriorityResponse
 	err := c.post(ctx, baseURL+"/priority", PriorityRequest{Flow: flow}, &out)
 	return out.Priority, out.Known, err
+}
+
+// InstallMPH distributes a minimal perfect hash table to the switch at
+// baseURL (the §4.3 membership-change push).
+func (c *HTTPClient) InstallMPH(ctx context.Context, baseURL string, t *mph.Table) error {
+	raw, err := t.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("rpc: marshal mph: %w", err)
+	}
+	return c.post(ctx, baseURL+"/mph", MPHRequest{TableB64: base64.StdEncoding.EncodeToString(raw)}, nil)
 }
 
 // PullPointers fetches a switch's pointer union for an epoch range.

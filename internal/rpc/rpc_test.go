@@ -3,8 +3,11 @@ package rpc
 import (
 	"context"
 	"net/http/httptest"
+	"reflect"
+	"sync"
 	"testing"
 
+	"switchpointer/internal/bitset"
 	"switchpointer/internal/header"
 	"switchpointer/internal/hostagent"
 	"switchpointer/internal/mph"
@@ -200,6 +203,30 @@ func TestHTTPEndToEnd(t *testing.T) {
 	_, known, err = client.QueryPriority(context.Background(), hostSrv.URL, netsim.FlowKey{Src: 1})
 	if err != nil || known {
 		t.Fatalf("unknown flow: %v %v", known, err)
+	}
+
+	// Concurrent pulls against ONE switch: the handler must serialize
+	// access to the (not concurrency-safe) agent, so overlapping diagnoses
+	// sharing a switch are race-free and all see the same answer (gated by
+	// the -race run of this package).
+	var wg sync.WaitGroup
+	pulls := make([]*bitset.Set, 8)
+	errs := make([]error, 8)
+	for i := range pulls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pulls[i], _, errs[i] = client.PullPointers(context.Background(), swSrv.URL, simtime.EpochRange{Lo: 0, Hi: 2})
+		}(i)
+	}
+	wg.Wait()
+	for i := range pulls {
+		if errs[i] != nil {
+			t.Fatalf("concurrent pull %d: %v", i, errs[i])
+		}
+		if got, want := pulls[i].Indices(), bits.Indices(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("concurrent pull %d diverged: %v != %v", i, got, want)
+		}
 	}
 }
 

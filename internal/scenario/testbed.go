@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"switchpointer/internal/analyzer"
+	"switchpointer/internal/eventq"
 	"switchpointer/internal/header"
 	"switchpointer/internal/hostagent"
 	"switchpointer/internal/netsim"
@@ -38,6 +39,12 @@ type Options struct {
 
 	// ClockSeed drives deterministic switch clock-offset assignment.
 	ClockSeed int64
+
+	// HeapEventQueue schedules the simulation on the engine's 4-ary heap
+	// instead of the default calendar queue — the `make bench` scheduler
+	// ablation. Simulation results are byte-identical either way; only
+	// wall-clock speed differs.
+	HeapEventQueue bool
 }
 
 func (o Options) withDefaults() Options {
@@ -92,7 +99,11 @@ type BuildFunc func(net *netsim.Network, cfg topo.Config) *topo.Topology
 // the cluster MPH directory, and the analyzer.
 func NewTestbed(build BuildFunc, opt Options) (*Testbed, error) {
 	opt = opt.withDefaults()
-	net := netsim.New()
+	var engineOpts []eventq.Option
+	if opt.HeapEventQueue {
+		engineOpts = append(engineOpts, eventq.WithHeapQueue())
+	}
+	net := netsim.New(engineOpts...)
 	net.NewSwitchQueue = func() netsim.Queue { return netsim.NewQueue(opt.Queue, opt.SwitchBufBytes) }
 	tp := build(net, topo.Config{Eps: opt.Eps, Seed: opt.ClockSeed})
 

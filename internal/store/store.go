@@ -2,9 +2,9 @@
 // reproduction's substitute for the MongoDB instance the paper's PathDump
 // deployment flushes records to (§6).
 //
-// It keeps records in memory behind two indexes (by flow and by traversed
-// switch) and supports snapshot/restore through encoding/gob for the
-// "flushed to local storage" behaviour.
+// It keeps records in memory sharded by flow-key hash, behind two indexes
+// (by flow and by traversed switch), and supports snapshot/restore through
+// encoding/gob for the "flushed to local storage" behaviour.
 package store
 
 import (
@@ -19,151 +19,369 @@ import (
 	"switchpointer/internal/netsim"
 )
 
-// RecordStore indexes flow records by flow key and by traversed switch.
-//
-// The switch index memoizes its sorted per-switch record slices: BySwitch is
-// answered from cache on the steady-state path and the cache is invalidated
-// by Reindex exactly for the switches whose membership changed. Reindex
-// itself is a no-op (and allocation-free) when the record's path is
-// unchanged since it was last indexed — the common per-packet case.
-//
-// Concurrency: queries (BySwitch, Get, Lookup, All) are safe to run
-// concurrently with each other — the memo cache fill is the one mutation on
-// the query path and it is guarded by its own mutex, so the HTTP binding's
-// per-request goroutines cannot race it. Mutations (Get-create, Absorb on a
-// returned record, Reindex, Load) still require exclusive access relative
-// to queries: the simulated testbed is single-threaded and the analyzer's
-// fan-out dispatches each host at most once per round, which satisfies
-// this; the real HTTP binding serves queries only while the simulation is
-// idle (see rpc.NewHostHandler).
-type RecordStore struct {
+// numShards is the shard count: a power of two so the flow-key hash maps to
+// a shard with a mask. 16 shards keep lock contention negligible for the
+// fan-out widths the analyzer uses (≤16 workers) at ~1 KB of fixed overhead
+// per store.
+const numShards = 16
+
+// shard owns one slice of the flow-key space.
+type shard struct {
+	// mu guards recs, bySwitch, and indexed: write-locked by mutations
+	// (Acquire/Release, Get-create, Reindex, Load), read-locked by queries.
+	mu       sync.RWMutex
 	recs     map[netsim.FlowKey]*flowrec.Record
 	bySwitch map[netsim.NodeID]map[netsim.FlowKey]struct{}
 	indexed  map[netsim.FlowKey][]netsim.NodeID // path as last indexed
 
-	mu     sync.Mutex                          // guards sorted
-	sorted map[netsim.NodeID][]*flowrec.Record // memoized BySwitch answers
+	// memoMu guards sorted, the shard's memoized per-switch record slices.
+	// It is a leaf lock: taken under mu (either mode), never the reverse.
+	memoMu sync.Mutex
+	sorted map[netsim.NodeID][]*flowrec.Record
+}
+
+// RecordStore indexes flow records by flow key and by traversed switch.
+//
+// Records are sharded by flow-key hash with per-shard locks, so one store
+// serves many concurrent queries: BySwitch answers are memoized per shard
+// and merged in deterministic flow-key-sorted order, with the merged answer
+// cached until any shard's membership for that switch changes.
+//
+// # Concurrency contract
+//
+// Queries (BySwitch, QueryBySwitch, View, Lookup, All, Len) are safe to
+// call concurrently with each other AND with mutations: each takes the
+// affected shards' read locks. Flush is also mutation-safe — it encodes
+// record clones snapshotted under shard read locks, never the live records.
+// There is no longer a single-owner-per-round restriction — the analyzer
+// may fan any number of concurrent queries at one store and the HTTP
+// binding may serve requests while the owning host is still absorbing
+// packets.
+//
+// Mutators take one shard's write lock. The packet hot path uses the
+// Acquire/Release pair, which holds the flow's shard write-locked across
+// the record mutation so concurrent queries never observe a half-absorbed
+// record. Get and Reindex remain for single-writer callers (tests, tools);
+// a record obtained from Get may only be mutated while no concurrent
+// queries run, or via Acquire/Release.
+//
+// Records handed out by query APIs are read-only: QueryBySwitch and View
+// hold the record's shard read-locked during the callback, which is the
+// only race-free way to read fields of a record that is still absorbing
+// packets. BySwitch/All return the shared record pointers for
+// sim-thread/serialization use; callers reading them concurrently with
+// absorption must go through the callback APIs instead.
+type RecordStore struct {
+	shards [numShards]shard
+
+	// mergeMu guards merged and gens. It is never held while acquiring a
+	// shard lock (BySwitch releases it before touching shards), so shard
+	// write paths may take it freely.
+	mergeMu sync.Mutex
+	merged  map[netsim.NodeID]mergedEntry
+	gens    map[netsim.NodeID]uint64
+}
+
+// mergedEntry is a cached cross-shard BySwitch answer, valid while the
+// switch's generation is unchanged.
+type mergedEntry struct {
+	recs []*flowrec.Record
+	gen  uint64
 }
 
 // New returns an empty store.
 func New() *RecordStore {
-	return &RecordStore{
-		recs:     make(map[netsim.FlowKey]*flowrec.Record),
-		bySwitch: make(map[netsim.NodeID]map[netsim.FlowKey]struct{}),
-		indexed:  make(map[netsim.FlowKey][]netsim.NodeID),
-		sorted:   make(map[netsim.NodeID][]*flowrec.Record),
+	st := &RecordStore{
+		merged: make(map[netsim.NodeID]mergedEntry),
+		gens:   make(map[netsim.NodeID]uint64),
 	}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.recs = make(map[netsim.FlowKey]*flowrec.Record)
+		sh.bySwitch = make(map[netsim.NodeID]map[netsim.FlowKey]struct{})
+		sh.indexed = make(map[netsim.FlowKey][]netsim.NodeID)
+		sh.sorted = make(map[netsim.NodeID][]*flowrec.Record)
+	}
+	return st
+}
+
+// shardOf hashes a flow key to its shard. The mix only spreads flows across
+// shards — it never influences any query answer, which are all merged in
+// flow-key-sorted order.
+func (st *RecordStore) shardOf(flow netsim.FlowKey) *shard {
+	h := uint64(flow.Src)<<32 | uint64(flow.Dst)
+	h ^= uint64(flow.SrcPort)<<24 ^ uint64(flow.DstPort)<<8 ^ uint64(flow.Proto)
+	// splitmix64-style avalanche so adjacent IPs land on different shards.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return &st.shards[h&(numShards-1)]
 }
 
 // Len returns the number of records.
-func (st *RecordStore) Len() int { return len(st.recs) }
+func (st *RecordStore) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.recs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
 
-// Get returns the record for a flow, creating it if absent.
+// Get returns the record for a flow, creating it if absent. See the
+// concurrency contract for when the returned record may be mutated.
 func (st *RecordStore) Get(flow netsim.FlowKey) *flowrec.Record {
-	r, ok := st.recs[flow]
+	sh := st.shardOf(flow)
+	sh.mu.Lock()
+	r := getLocked(sh, flow)
+	sh.mu.Unlock()
+	return r
+}
+
+func getLocked(sh *shard, flow netsim.FlowKey) *flowrec.Record {
+	r, ok := sh.recs[flow]
 	if !ok {
 		r = flowrec.New(flow)
-		st.recs[flow] = r
+		sh.recs[flow] = r
 	}
 	return r
 }
 
 // Lookup returns the record for a flow without creating it.
 func (st *RecordStore) Lookup(flow netsim.FlowKey) (*flowrec.Record, bool) {
-	r, ok := st.recs[flow]
+	sh := st.shardOf(flow)
+	sh.mu.RLock()
+	r, ok := sh.recs[flow]
+	sh.mu.RUnlock()
 	return r, ok
+}
+
+// View runs fn on the record for flow (if present) with the record's shard
+// read-locked, so fn may read record fields concurrently with absorption
+// into the store. It reports whether the record existed. fn must not call
+// back into the store.
+func (st *RecordStore) View(flow netsim.FlowKey, fn func(*flowrec.Record)) bool {
+	sh := st.shardOf(flow)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.recs[flow]
+	if !ok {
+		return false
+	}
+	fn(r)
+	return true
+}
+
+// Acquire returns the record for a flow — created if absent — with its
+// shard write-locked for mutation. Every Acquire must be paired with a
+// Release of the same record, which reindexes it and unlocks the shard.
+// The pair is the packet-absorption hot path: it performs zero heap
+// allocations at steady state and makes the mutation atomic with respect
+// to concurrent queries.
+func (st *RecordStore) Acquire(flow netsim.FlowKey) *flowrec.Record {
+	sh := st.shardOf(flow)
+	sh.mu.Lock()
+	return getLocked(sh, flow)
+}
+
+// Release reindexes a record obtained from Acquire and unlocks its shard.
+func (st *RecordStore) Release(r *flowrec.Record) {
+	sh := st.shardOf(r.Flow)
+	st.reindexLocked(sh, r)
+	sh.mu.Unlock()
 }
 
 // Reindex must be called after a record's path may have changed so the
 // switch index stays consistent. Switches the record no longer traverses are
 // removed from the index (a rerouted flow must stop answering queries for
 // its old path), newly traversed switches are added, and only the affected
-// switches' memoized BySwitch answers are invalidated. When the path is
-// unchanged — the steady-state per-packet case — Reindex returns without
-// touching the index or the caches.
+// switches' memoized answers are invalidated. When the path is unchanged —
+// the steady-state per-packet case — Reindex returns without touching the
+// index or the caches. Callers that mutate records concurrently with
+// queries should use Acquire/Release, which folds this in.
 func (st *RecordStore) Reindex(r *flowrec.Record) {
-	prev := st.indexed[r.Flow]
+	sh := st.shardOf(r.Flow)
+	sh.mu.Lock()
+	st.reindexLocked(sh, r)
+	sh.mu.Unlock()
+}
+
+func (st *RecordStore) reindexLocked(sh *shard, r *flowrec.Record) {
+	prev := sh.indexed[r.Flow]
 	if slices.Equal(prev, r.Path) {
 		return
 	}
 	// Drop stale entries: switches on the old path but not the new one.
 	for _, sw := range prev {
 		if !slices.Contains(r.Path, sw) {
-			if m, ok := st.bySwitch[sw]; ok {
+			if m, ok := sh.bySwitch[sw]; ok {
 				delete(m, r.Flow)
 			}
-			st.invalidate(sw)
+			st.invalidate(sh, sw)
 		}
 	}
 	for _, sw := range r.Path {
-		m, ok := st.bySwitch[sw]
+		m, ok := sh.bySwitch[sw]
 		if !ok {
 			m = make(map[netsim.FlowKey]struct{})
-			st.bySwitch[sw] = m
+			sh.bySwitch[sw] = m
 		}
 		if _, had := m[r.Flow]; !had {
 			m[r.Flow] = struct{}{}
-			st.invalidate(sw)
+			st.invalidate(sh, sw)
 		}
 	}
-	st.indexed[r.Flow] = append(prev[:0], r.Path...)
+	sh.indexed[r.Flow] = append(prev[:0], r.Path...)
 }
 
-func (st *RecordStore) invalidate(sw netsim.NodeID) {
-	st.mu.Lock()
-	delete(st.sorted, sw)
-	st.mu.Unlock()
+// invalidate drops the shard's memoized slice for sw and bumps the switch's
+// generation so an in-flight BySwitch merge cannot cache a stale answer.
+// Called with sh.mu write-locked; takes only leaf locks.
+func (st *RecordStore) invalidate(sh *shard, sw netsim.NodeID) {
+	sh.memoMu.Lock()
+	delete(sh.sorted, sw)
+	sh.memoMu.Unlock()
+	st.mergeMu.Lock()
+	st.gens[sw]++
+	delete(st.merged, sw)
+	st.mergeMu.Unlock()
 }
 
-// BySwitch returns all records whose path visits sw, in deterministic
-// (flow-key-sorted) order. The result is memoized until a Reindex changes
-// the switch's membership; callers must treat it as read-only.
-func (st *RecordStore) BySwitch(sw netsim.NodeID) []*flowrec.Record {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if out, ok := st.sorted[sw]; ok {
+// shardBySwitch returns the shard's memoized sorted record slice for sw,
+// building it on first use. Called with sh.mu read- or write-locked.
+func (sh *shard) shardBySwitch(sw netsim.NodeID) []*flowrec.Record {
+	sh.memoMu.Lock()
+	defer sh.memoMu.Unlock()
+	if out, ok := sh.sorted[sw]; ok {
 		return out
 	}
-	keys, ok := st.bySwitch[sw]
+	keys, ok := sh.bySwitch[sw]
 	if !ok {
 		return nil
 	}
 	out := make([]*flowrec.Record, 0, len(keys))
 	for k := range keys {
-		out = append(out, st.recs[k])
+		out = append(out, sh.recs[k])
 	}
 	sortRecords(out)
-	st.sorted[sw] = out
+	sh.sorted[sw] = out
 	return out
+}
+
+// BySwitch returns all records whose path visits sw, in deterministic
+// (flow-key-sorted) order: the per-shard memoized slices merged across
+// shards. The merged result is itself memoized until any shard's membership
+// for sw changes; callers must treat it as read-only. To read fields of the
+// returned records concurrently with absorption, use QueryBySwitch instead.
+func (st *RecordStore) BySwitch(sw netsim.NodeID) []*flowrec.Record {
+	st.mergeMu.Lock()
+	if e, ok := st.merged[sw]; ok && e.gen == st.gens[sw] {
+		st.mergeMu.Unlock()
+		return e.recs
+	}
+	gen := st.gens[sw]
+	st.mergeMu.Unlock()
+
+	// Collect the per-shard sorted slices under read locks, then k-way
+	// merge. Shards are snapshotted one at a time; the generation check at
+	// caching time rejects the merge if any membership changed meanwhile.
+	var parts [numShards][]*flowrec.Record
+	total := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		parts[i] = sh.shardBySwitch(sw)
+		sh.mu.RUnlock()
+		total += len(parts[i])
+	}
+	var out []*flowrec.Record // nil for an unknown/empty switch — cached too
+	if total > 0 {
+		out = mergeSorted(parts[:], total)
+	}
+	st.mergeMu.Lock()
+	if st.gens[sw] == gen {
+		st.merged[sw] = mergedEntry{recs: out, gen: gen}
+	}
+	st.mergeMu.Unlock()
+	return out
+}
+
+// mergeSorted k-way merges per-shard slices that are each flow-key-sorted
+// into one sorted slice.
+func mergeSorted(parts [][]*flowrec.Record, total int) []*flowrec.Record {
+	out := make([]*flowrec.Record, 0, total)
+	var heads [numShards]int
+	for len(out) < total {
+		best := -1
+		for i, p := range parts {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || flowLess(p[heads[i]].Flow, parts[best][heads[best]].Flow) {
+				best = i
+			}
+		}
+		out = append(out, parts[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// QueryBySwitch calls fn for every record whose path visits sw, in
+// flow-key-sorted order, holding each record's shard read-locked during its
+// callback. This is the query executors' iteration primitive: it is safe to
+// run concurrently with packet absorption (Acquire/Release) into the same
+// store. fn must not call back into the store; returning false stops the
+// iteration.
+func (st *RecordStore) QueryBySwitch(sw netsim.NodeID, fn func(*flowrec.Record) bool) {
+	for _, r := range st.BySwitch(sw) {
+		sh := st.shardOf(r.Flow)
+		sh.mu.RLock()
+		cont := fn(r)
+		sh.mu.RUnlock()
+		if !cont {
+			return
+		}
+	}
 }
 
 // All returns every record in deterministic order.
 func (st *RecordStore) All() []*flowrec.Record {
-	out := make([]*flowrec.Record, 0, len(st.recs))
-	for _, r := range st.recs {
-		out = append(out, r)
+	var out []*flowrec.Record
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.recs {
+			out = append(out, r)
+		}
+		sh.mu.RUnlock()
 	}
 	sortRecords(out)
 	return out
 }
 
+func flowLess(a, b netsim.FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
 func sortRecords(rs []*flowrec.Record) {
-	sort.Slice(rs, func(i, j int) bool {
-		a, b := rs[i].Flow, rs[j].Flow
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		if a.Dst != b.Dst {
-			return a.Dst < b.Dst
-		}
-		if a.SrcPort != b.SrcPort {
-			return a.SrcPort < b.SrcPort
-		}
-		if a.DstPort != b.DstPort {
-			return a.DstPort < b.DstPort
-		}
-		return a.Proto < b.Proto
-	})
+	sort.Slice(rs, func(i, j int) bool { return flowLess(rs[i].Flow, rs[j].Flow) })
 }
 
 // snapshot is the gob wire form.
@@ -171,9 +389,21 @@ type snapshot struct {
 	Records []*flowrec.Record
 }
 
-// Flush serializes the store (the periodic "flush to local storage").
+// Flush serializes the store (the periodic "flush to local storage"). It
+// snapshots record clones shard by shard under read locks, so it is safe to
+// run concurrently with queries and with absorption — the encoder never
+// touches a record that is still being mutated.
 func (st *RecordStore) Flush(w io.Writer) error {
-	snap := snapshot{Records: st.All()}
+	var snap snapshot
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.recs {
+			snap.Records = append(snap.Records, r.Clone())
+		}
+		sh.mu.RUnlock()
+	}
+	sortRecords(snap.Records)
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("store: flush: %w", err)
 	}
@@ -181,18 +411,34 @@ func (st *RecordStore) Flush(w io.Writer) error {
 }
 
 // Load restores a store serialized with Flush, replacing current contents.
+// Load requires exclusive access: no queries or mutations may run
+// concurrently.
 func (st *RecordStore) Load(r io.Reader) error {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("store: load: %w", err)
 	}
-	st.recs = make(map[netsim.FlowKey]*flowrec.Record, len(snap.Records))
-	st.bySwitch = make(map[netsim.NodeID]map[netsim.FlowKey]struct{})
-	st.indexed = make(map[netsim.FlowKey][]netsim.NodeID, len(snap.Records))
-	st.sorted = make(map[netsim.NodeID][]*flowrec.Record)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sh.recs = make(map[netsim.FlowKey]*flowrec.Record)
+		sh.bySwitch = make(map[netsim.NodeID]map[netsim.FlowKey]struct{})
+		sh.indexed = make(map[netsim.FlowKey][]netsim.NodeID)
+		sh.memoMu.Lock()
+		sh.sorted = make(map[netsim.NodeID][]*flowrec.Record)
+		sh.memoMu.Unlock()
+		sh.mu.Unlock()
+	}
+	st.mergeMu.Lock()
+	st.merged = make(map[netsim.NodeID]mergedEntry)
+	st.gens = make(map[netsim.NodeID]uint64)
+	st.mergeMu.Unlock()
 	for _, rec := range snap.Records {
-		st.recs[rec.Flow] = rec
-		st.Reindex(rec)
+		sh := st.shardOf(rec.Flow)
+		sh.mu.Lock()
+		sh.recs[rec.Flow] = rec
+		st.reindexLocked(sh, rec)
+		sh.mu.Unlock()
 	}
 	return nil
 }

@@ -9,9 +9,10 @@ go vet ./...
 go test ./...
 
 # Race detector over the concurrent surface (analyzer fan-out, RPC fan-out +
-# HTTP client, host-agent query executors). Scoped to these packages so the
-# full gate stays fast.
-go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent
+# HTTP client, host-agent query executors, the sharded record store under
+# concurrent query+absorption, and the event engine). Scoped to these
+# packages so the full gate stays fast.
+go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq
 
 mkdir -p bin
 go build -o bin/ ./cmd/...
