@@ -17,21 +17,23 @@ test:
 	$(GO) test ./...
 
 ## race: race detector over the concurrent surface (analyzer fan-out, RPC,
-## host-agent query executors, sharded record store, event engine) — scoped
-## so the gate stays fast
+## host-agent query executors, sharded record store, event engine, cluster
+## service plane) — scoped so the gate stays fast
 race:
-	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq
+	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster
 
 ## bench: run the paper-figure benchmark suite with -benchmem, refresh the
-## machine-readable perf-trajectory artifact (BENCH_PR3.json; its baseline
-## froze the PR 2 numbers), and print the before/after delta
+## machine-readable perf-trajectory artifact (BENCH_PR4.json; its baseline
+## froze the PR 3 numbers) — including the diagnosis-throughput and bursty
+## calendar sweeps — and print the before/after delta
 bench:
 	scripts/bench.sh
 
 ## bench-quick: the inner perf loop — Fig 8 + simulator event rate (incl.
-## the scheduler ablation) only, one iteration, no artifact refresh
+## the scheduler ablation) + the bursty calendar sweep, one iteration, no
+## artifact refresh
 bench-quick:
-	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue' -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue|CalendarBursty' -benchmem -benchtime 1x .
 
 ## binaries: every cmd/ tool and examples/ program must compile
 binaries:

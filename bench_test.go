@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"testing"
 
+	"switchpointer/internal/eventq"
 	"switchpointer/internal/experiments"
 	"switchpointer/internal/simtime"
 )
@@ -275,4 +276,74 @@ func BenchmarkAblationPacketMix(b *testing.B) {
 	res := runExperiment(b, experiments.AblationPacketMix)
 	// enterprise-dc row, SwitchPointer k=5 column.
 	b.ReportMetric(cell(b, res, 0, 2, 4), "k5_gbps_enterprise")
+}
+
+// BenchmarkDiagnosisThroughput runs the multi-query analyzer experiment:
+// overlapping alert diagnoses through the admission controller at limits
+// 1/4/16 with an emulated per-round network RTT. All metrics are wall-clock
+// (reports/sec) and legitimately vary run to run — exempt from the bench
+// drift gate.
+func BenchmarkDiagnosisThroughput(b *testing.B) {
+	res := runExperiment(b, experiments.DiagnosisThroughput)
+	b.ReportMetric(cell(b, res, 0, 0, 3), "reports_per_sec_limit1")
+	b.ReportMetric(cell(b, res, 0, 1, 3), "reports_per_sec_limit4")
+	b.ReportMetric(cell(b, res, 0, 2, 3), "reports_per_sec_limit16")
+}
+
+// BenchmarkCalendarBursty is the calendar-queue width-autotune review
+// (ROADMAP): the event engine under *bursty* schedules — runs of
+// simultaneous events separated by gaps whose scale shifts between regimes
+// — which is exactly the shape that exercises the feedback controller
+// (calScanThreshold reviews, measured-gap width re-derivation, tie-run
+// extraction). Sweeps burst size × gap regime on the calendar queue with
+// the 4-ary heap as the reference. Pure wall clock; no virtual-time
+// metrics, so nothing here is drift-gated.
+func BenchmarkCalendarBursty(b *testing.B) {
+	gapRegimes := []struct {
+		name string
+		gaps []simtime.Time // cycled between bursts
+	}{
+		{"tight1us", []simtime.Time{simtime.Microsecond}},
+		{"sparse1ms", []simtime.Time{simtime.Millisecond}},
+		// The adversarial mix for a width controller: dense packet-scale
+		// trains, then an idle jump three orders of magnitude larger.
+		{"mixed", []simtime.Time{simtime.Microsecond, simtime.Microsecond, simtime.Microsecond, 2 * simtime.Millisecond}},
+	}
+	for _, q := range []struct {
+		name string
+		opts []eventq.Option
+	}{
+		{"calendar", []eventq.Option{eventq.WithCalendarQueue()}},
+		{"heap", []eventq.Option{eventq.WithHeapQueue()}},
+	} {
+		for _, burst := range []int{1, 16, 256} {
+			for _, regime := range gapRegimes {
+				b.Run(fmt.Sprintf("%s/burst%d/%s", q.name, burst, regime.name), func(b *testing.B) {
+					eng := eventq.New(q.opts...)
+					var horizon simtime.Time
+					gi := 0
+					nop := func() {}
+					scheduleBurst := func() {
+						horizon += regime.gaps[gi%len(regime.gaps)]
+						gi++
+						for j := 0; j < burst; j++ {
+							eng.At(horizon, nop)
+						}
+					}
+					// Standing population: keep ~32 bursts outstanding so
+					// the queue works at a realistic depth.
+					for k := 0; k < 32; k++ {
+						scheduleBurst()
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if eng.Pending() < 32*burst {
+							scheduleBurst()
+						}
+						eng.Step()
+					}
+				})
+			}
+		}
+	}
 }

@@ -13,6 +13,15 @@
 //	spctl -problem loadimbalance -n 16
 //	spctl -problem topk -n 32
 //	spctl -problem priority -timeout 50ms   # bound the query in wall time
+//
+// With -remote, spctl becomes a thin client of a running `spd analyzer`
+// service: it rebuilds the same deterministic scenario locally only to
+// derive the query (trigger alert, suspect switch, epoch window), then
+// submits it over the wire as a cluster.QueryEnvelope and prints the
+// returned wire-form report — the whole diagnosis executes on the remote
+// cluster:
+//
+//	spctl -problem redlights -remote http://127.0.0.1:7643
 package main
 
 import (
@@ -22,10 +31,7 @@ import (
 	"os"
 
 	"switchpointer/internal/analyzer"
-	"switchpointer/internal/hostagent"
-	"switchpointer/internal/netsim"
-	"switchpointer/internal/scenario"
-	"switchpointer/internal/simtime"
+	"switchpointer/internal/cluster"
 )
 
 func main() {
@@ -34,6 +40,7 @@ func main() {
 		m       = flag.Int("m", 8, "burst flows (priority/microburst)")
 		n       = flag.Int("n", 16, "servers (loadimbalance/topk)")
 		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the analyzer query (0 = none)")
+		remote  = flag.String("remote", "", "analyzer service URL — submit the query to a running `spd analyzer` instead of simulating in-process")
 	)
 	flag.Parse()
 
@@ -44,27 +51,27 @@ func main() {
 		defer cancel()
 	}
 
+	if *remote != "" {
+		runRemote(ctx, *remote, *problem, *m, *n)
+		return
+	}
+
+	// Local mode uses the same scenario/query derivation as --remote and
+	// the spd daemons (cluster.BuildScenario), so the two modes can never
+	// diverge on horizons, windows, or parameters.
+	s, err := cluster.BuildScenario(*problem, *m, *n)
+	check(err)
+	defer s.Testbed.Close()
+	q, err := s.Query()
+	check(err)
+
 	switch *problem {
-	case "priority", "microburst":
-		s, err := scenario.NewTooMuchTraffic(scenario.TooMuchTrafficConfig{
-			M: *m, Microburst: *problem == "microburst"})
+	case "priority", "microburst", "redlights", "cascade":
+		alert, err := s.Alert()
 		check(err)
-		alert := awaitAlert(s.Testbed, s.Victim, 110*simtime.Millisecond)
 		fmt.Printf("trigger: %s on %v at %v (%.2f → %.2f Gbps)\n",
 			alert.Kind, alert.Flow, alert.DetectedAt, alert.PrevGbps, alert.CurGbps)
-		printReport(run(ctx, s.Testbed.Analyzer, analyzer.ContentionQuery{Alert: alert}))
-	case "redlights":
-		s, err := scenario.NewRedLights(scenario.Options{})
-		check(err)
-		alert := awaitAlert(s.Testbed, s.Victim, 30*simtime.Millisecond)
-		fmt.Printf("trigger: %s on %v at %v\n", alert.Kind, alert.Flow, alert.DetectedAt)
-		printReport(run(ctx, s.Testbed.Analyzer, analyzer.RedLightsQuery{Alert: alert}))
-	case "cascade":
-		s, err := scenario.NewCascades(true, scenario.Options{})
-		check(err)
-		alert := awaitAlert(s.Testbed, s.FlowCE, 60*simtime.Millisecond)
-		fmt.Printf("trigger: %s on %v at %v\n", alert.Kind, alert.Flow, alert.DetectedAt)
-		rep := run(ctx, s.Testbed.Analyzer, analyzer.CascadeQuery{Alert: alert})
+		rep := run(ctx, s.Testbed.Analyzer, q)
 		printReport(rep)
 		if len(rep.Cascade) > 1 {
 			fmt.Println("cascade chain:")
@@ -73,36 +80,19 @@ func main() {
 			}
 		}
 	case "loadimbalance":
-		s, err := scenario.NewLoadImbalance(*n, scenario.Options{})
-		check(err)
-		tb := s.Testbed
-		end := tb.Run(s.MaxFlowDuration() + 100*simtime.Millisecond)
-		defer tb.Close()
-		ag := tb.SwitchAgents[s.Suspect.NodeID()]
-		nowEpoch := ag.LocalEpochAt(end)
-		rep := run(ctx, tb.Analyzer, analyzer.ImbalanceQuery{
-			Switch: s.Suspect.NodeID(),
-			Window: simtime.EpochRange{Lo: nowEpoch - 99, Hi: nowEpoch},
-			At:     end,
-		})
-		fmt.Printf("suspect switch: %s\n", s.Suspect.NodeName())
+		rep := run(ctx, s.Testbed.Analyzer, q)
+		fmt.Printf("suspect switch: %s\n", s.SwitchName)
 		for _, l := range rep.Links {
 			fmt.Printf("  link %d: %d flows, sizes %d..%d B\n", l.Link, l.Flows, l.Min(), l.Max())
 		}
 		fmt.Printf("conclusion: %s\n", rep.Conclusion)
 		fmt.Printf("hosts contacted: %d, diagnosis time: %v\n", rep.HostsContacted, rep.Total())
 	case "topk":
-		s, err := scenario.NewTopKWorkload(*n, 96, scenario.Options{})
-		check(err)
-		tb := s.Testbed
-		end := tb.Run(50 * simtime.Millisecond)
-		defer tb.Close()
-		window := simtime.EpochRange{Lo: 0, Hi: 10}
-		sp := run(ctx, tb.Analyzer, analyzer.TopKQuery{
-			Switch: s.Queried.NodeID(), K: 100, Window: window, Mode: analyzer.ModeSwitchPointer, At: end})
-		pd := run(ctx, tb.Analyzer, analyzer.TopKQuery{
-			Switch: s.Queried.NodeID(), K: 100, Window: window, Mode: analyzer.ModePathDump, At: end})
-		fmt.Printf("top-100 at %s: %d flows found\n", s.Queried.NodeName(), len(sp.Flows))
+		sp := run(ctx, s.Testbed.Analyzer, q)
+		pdq := q.(analyzer.TopKQuery)
+		pdq.Mode = analyzer.ModePathDump
+		pd := run(ctx, s.Testbed.Analyzer, pdq)
+		fmt.Printf("top-100 at %s: %d flows found\n", s.SwitchName, len(sp.Flows))
 		for i, fb := range sp.Flows {
 			if i >= 5 {
 				fmt.Printf("  ... %d more\n", len(sp.Flows)-5)
@@ -112,23 +102,61 @@ func main() {
 		}
 		fmt.Printf("SwitchPointer: %d hosts, %v\n", sp.HostsContacted, sp.Total())
 		fmt.Printf("PathDump:      %d hosts, %v\n", pd.HostsContacted, pd.Total())
-	default:
-		fmt.Fprintf(os.Stderr, "spctl: unknown problem %q\n", *problem)
-		os.Exit(2)
 	}
 }
 
-// awaitAlert subscribes to the flow's alert stream, runs the testbed to the
-// given virtual time, and returns the first alert delivered.
-func awaitAlert(tb *scenario.Testbed, flow netsim.FlowKey, until simtime.Time) hostagent.Alert {
-	alerts := tb.Subscribe(hostagent.AlertFilter{Flow: flow})
-	tb.Run(until)
-	tb.Close() // closes the stream so a missing alert is detectable
-	alert, ok := <-alerts
-	if !ok {
-		fail("no trigger fired — nothing to debug")
+// runRemote derives the problem's query from the locally rebuilt scenario
+// and submits it to a running `spd analyzer` service.
+func runRemote(ctx context.Context, url, problem string, m, n int) {
+	s, err := cluster.BuildScenario(problem, m, n)
+	check(err)
+	q, err := s.Query()
+	check(err)
+	env, err := cluster.Envelope(q)
+	check(err)
+	fmt.Printf("submitting %s query to %s\n", q.Name(), url)
+	rep, err := (&cluster.Client{BaseURL: url}).Diagnose(ctx, env)
+	if err != nil && rep == nil {
+		check(err)
 	}
-	return alert
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spctl: remote query cut short: %v (partial report follows)\n", err)
+	}
+	printWireReport(rep)
+}
+
+// printWireReport renders a remote (wire-form) report the way printReport
+// renders a local one, plus the kind-specific payloads.
+func printWireReport(d *cluster.WireReport) {
+	fmt.Printf("diagnosis: %s\n", d.Kind)
+	fmt.Printf("conclusion: %s\n", d.Conclusion)
+	fmt.Printf("search radius: %d pointer hosts, %d pruned, %d contacted\n",
+		d.PointerHosts, d.PrunedHosts, d.HostsContacted)
+	for _, c := range d.Culprits {
+		fmt.Printf("  culprit: %v prio=%d bytes=%d at switch %d (telemetry from %v)\n",
+			c.Flow, c.Priority, c.Bytes, c.Switch, c.Host)
+	}
+	if len(d.Cascade) > 1 {
+		fmt.Println("cascade chain:")
+		for i, f := range d.Cascade {
+			fmt.Printf("  %d. %v\n", i, f)
+		}
+	}
+	for _, l := range d.Links {
+		fmt.Printf("  link %d: %d flows, sizes %d..%d B\n", l.Link, l.Flows, l.Min(), l.Max())
+	}
+	for i, fb := range d.Flows {
+		if i >= 5 {
+			fmt.Printf("  ... %d more\n", len(d.Flows)-5)
+			break
+		}
+		fmt.Printf("  %2d. %v — %d B\n", i+1, fb.Flow, fb.Bytes)
+	}
+	fmt.Println("timing breakdown:")
+	for _, p := range d.Phases {
+		fmt.Printf("  %-18s %v\n", p.Name, p.Duration)
+	}
+	fmt.Printf("  %-18s %v\n", "TOTAL", d.Total())
 }
 
 func run(ctx context.Context, a *analyzer.Analyzer, q analyzer.Query) *analyzer.Report {
@@ -160,9 +188,4 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "spctl:", err)
 		os.Exit(1)
 	}
-}
-
-func fail(msg string) {
-	fmt.Fprintln(os.Stderr, "spctl:", msg)
-	os.Exit(1)
 }

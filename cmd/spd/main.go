@@ -1,0 +1,187 @@
+// Command spd is the SwitchPointer daemon: one binary that runs each role
+// of a deployed cluster — host agents, switch agents, and the analyzer
+// service — over the JSON/HTTP wire binding, so a whole diagnosis runs as a
+// distributed system (the paper's flask topology, minus flask).
+//
+// Every daemon rebuilds the named deterministic scenario and plays it to
+// its horizon, so separate processes agree byte-for-byte on all agent
+// state; each then serves its own slice of the cluster:
+//
+//	spd host     -scenario redlights -listen 127.0.0.1:7641
+//	spd switch   -scenario redlights -listen 127.0.0.1:7642
+//	spd analyzer -scenario redlights -listen 127.0.0.1:7643 \
+//	             -hosts http://127.0.0.1:7641 -switches http://127.0.0.1:7642
+//	spd wait     -url http://127.0.0.1:7643/healthz -timeout 30s
+//
+// The host daemon serves every host agent under /hosts/<ip>/ (the
+// rpc.NewHostHandler routes below it) and the switch daemon every switch
+// agent under /switches/<id>/. The analyzer daemon reaches both only over
+// HTTP (analyzer.RemoteDirectory + analyzer.RemoteHosts) and exposes the
+// service plane: POST /diagnose (a cluster.QueryEnvelope, answered with the
+// wire-form report), GET /stats (admission counters), GET /healthz.
+// Concurrent queries are bounded by the admission controller
+// (-max-inflight/-max-queue/-queue-wait); overflow queues FIFO with
+// per-alert-kind priority, and rejected/expired queries map to HTTP 429/503.
+//
+// Point spctl at a running analyzer with `spctl -problem redlights -remote
+// http://127.0.0.1:7643`. All daemons shut down gracefully on
+// SIGINT/SIGTERM. `spd wait` polls a /healthz URL until ready — the
+// readiness gate scripts use.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"switchpointer/internal/cluster"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "host", "switch", "analyzer":
+		err = serveCmd(cmd, args)
+	case "wait":
+		err = waitCmd(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "spd: unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `spd — the SwitchPointer cluster daemon
+
+  spd host     -scenario NAME -listen ADDR [-m M -n N]
+  spd switch   -scenario NAME -listen ADDR [-m M -n N]
+  spd analyzer -scenario NAME -listen ADDR -hosts URL -switches URL
+               [-m M -n N -max-inflight K -max-queue Q -queue-wait D]
+  spd wait     -url URL [-timeout D]
+
+Scenarios: %v
+`, cluster.ScenarioNames())
+}
+
+// serveCmd runs one daemon role to completion (SIGINT/SIGTERM).
+func serveCmd(role string, args []string) error {
+	fs := flag.NewFlagSet("spd "+role, flag.ExitOnError)
+	var (
+		scenarioName = fs.String("scenario", "redlights", "deterministic scenario to rebuild and serve")
+		listen       = fs.String("listen", "127.0.0.1:0", "listen address")
+		m            = fs.Int("m", 0, "burst flows (priority/microburst; 0 = default)")
+		n            = fs.Int("n", 0, "servers (loadimbalance/topk; 0 = default)")
+		hostsURL     = fs.String("hosts", "", "analyzer: base URL of the host daemon")
+		switchesURL  = fs.String("switches", "", "analyzer: base URL of the switch daemon")
+		maxInflight  = fs.Int("max-inflight", 0, "analyzer: concurrent diagnosis bound (0 = default 4)")
+		maxQueue     = fs.Int("max-queue", 0, "analyzer: admission queue depth (0 = default 64)")
+		queueWait    = fs.Duration("queue-wait", 0, "analyzer: max queue wait before ErrExpired (0 = unbounded)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s, err := cluster.BuildScenario(*scenarioName, *m, *n)
+	if err != nil {
+		return err
+	}
+	end := s.Run()
+	fmt.Fprintf(os.Stderr, "spd %s: scenario %q played to %v\n", role, *scenarioName, end)
+
+	var handler http.Handler
+	switch role {
+	case "host":
+		handler = cluster.HostMux(s.Testbed)
+		fmt.Fprintf(os.Stderr, "spd host: serving %d host agents under /hosts/<ip>/\n", len(s.Testbed.HostAgents))
+	case "switch":
+		handler = cluster.SwitchMux(s.Testbed)
+		fmt.Fprintf(os.Stderr, "spd switch: serving %d switch agents under /switches/<id>/\n", len(s.Testbed.SwitchAgents))
+	case "analyzer":
+		if *hostsURL == "" || *switchesURL == "" {
+			return errors.New("analyzer role needs -hosts and -switches URLs")
+		}
+		a, err := cluster.NewRemoteAnalyzer(s.Testbed,
+			cluster.HostURLs(*hostsURL, s.Testbed),
+			cluster.SwitchURLs(*switchesURL, s.Testbed), nil)
+		if err != nil {
+			return err
+		}
+		ad := cluster.NewAdmission(a, cluster.AdmissionConfig{
+			MaxInFlight: *maxInflight,
+			MaxQueued:   *maxQueue,
+			QueueWait:   *queueWait,
+		})
+		handler = cluster.NewAnalyzerHandler(ad)
+		cfg := ad.Config()
+		fmt.Fprintf(os.Stderr, "spd analyzer: /diagnose ready (max %d in flight, %d queued, wait %v)\n",
+			cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueWait)
+	}
+	return serve(*listen, handler, role)
+}
+
+// serve runs an HTTP server until SIGINT/SIGTERM, then shuts down
+// gracefully (in-flight requests get 5 s to finish). The listener is bound
+// before the "listening on" line prints, and the line carries the ACTUAL
+// bound address — so `-listen 127.0.0.1:0` picks a free ephemeral port and
+// scripts scrape the address from stderr (what the verify smoke does,
+// avoiding fixed-port collisions).
+func serve(addr string, handler http.Handler, role string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	fmt.Fprintf(os.Stderr, "spd %s: listening on %s\n", role, ln.Addr())
+	go func() {
+		errc <- srv.Serve(ln)
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "spd %s: shutting down\n", role)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
+// waitCmd polls a /healthz URL until it answers 200.
+func waitCmd(args []string) error {
+	fs := flag.NewFlagSet("spd wait", flag.ExitOnError)
+	var (
+		url     = fs.String("url", "", "health URL to poll (e.g. http://127.0.0.1:7643/healthz)")
+		timeout = fs.Duration("timeout", 30*time.Second, "give up after this long")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return errors.New("wait needs -url")
+	}
+	return cluster.WaitReady(context.Background(), *url, *timeout)
+}

@@ -16,13 +16,33 @@ import (
 // Analyzer coordinates the pointer directory and host agents to debug
 // network events. It can be colocated with an end host or run on a separate
 // controller. All switch pointer state is reached through the Directory
-// backend; host telemetry through the host agents; communication costs are
-// charged to a virtual-time cost model standing in for the flask RPC fabric.
+// backend, all host telemetry through the HostBackend seam (in-memory by
+// default, HTTP via RemoteHosts); communication costs are charged to a
+// virtual-time cost model standing in for the flask RPC fabric.
+//
+// # Concurrency and admission
+//
+// Run is safe for any number of concurrent calls over one Analyzer: both
+// backends are required to support concurrent rounds, host stores are
+// sharded, and the in-memory directory serializes per-switch pulls. The
+// analyzer itself imposes no concurrency bound — in a deployment, wrap it
+// in cluster.Admission (what `spd analyzer` serves), which bounds in-flight
+// Runs, queues overflow FIFO with per-alert-kind priority, and fails
+// queued/expired queries with typed errors. Fields must not be mutated
+// while Runs are in flight.
 type Analyzer struct {
 	Topo  *topo.Topology
 	Dir   Directory
 	Hosts map[netsim.IPv4]*hostagent.Agent
 	Cost  rpc.CostModel
+
+	// HostBack, when set, routes every per-host interaction of the
+	// diagnosis procedures through the given backend instead of the
+	// in-process Hosts map — the host-side twin of the Directory seam. Nil
+	// selects MemoryHosts over Hosts (the default, byte-identical to the
+	// pre-seam direct agent calls); RemoteHosts runs the same rounds over
+	// the JSON/HTTP binding so a whole diagnosis travels the wire.
+	HostBack HostBackend
 
 	// DisablePruning turns off the §4.3 search-radius reduction (ablation).
 	DisablePruning bool

@@ -72,7 +72,7 @@ func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (
 
 		// Was the aggressor itself delayed? Examine pointers along ITS path
 		// during ITS epochs. Its telemetry lives at its destination host.
-		synth, ok := a.syntheticAlert(clock, top.Flow)
+		synth, ok := a.syntheticAlert(ctx, clock, top.Flow)
 		if !ok {
 			break
 		}
@@ -114,13 +114,11 @@ func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (
 }
 
 // syntheticAlert builds the alert-equivalent tuples for a flow from its
-// destination host's record (one extra host contact, charged to the clock).
-func (a *Analyzer) syntheticAlert(clock *rpc.Clock, flow netsim.FlowKey) (hostagent.Alert, bool) {
-	hostAg, ok := a.Hosts[flow.Dst]
-	if !ok {
-		return hostagent.Alert{}, false
-	}
-	rec, ok := hostAg.Store.Lookup(flow)
+// destination host's record (one extra host contact, charged to the clock),
+// fetched through the host backend so the cascade procedure works over the
+// wire too.
+func (a *Analyzer) syntheticAlert(ctx context.Context, clock *rpc.Clock, flow netsim.FlowKey) (hostagent.Alert, bool) {
+	rec, ok := a.hostBackend().Record(ctx, flow.Dst, flow)
 	if !ok {
 		return hostagent.Alert{}, false
 	}

@@ -73,28 +73,28 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 	d.Consulted = contact
 
 	// Query each surviving host for headers matching any (switch, epochs)
-	// tuple of the victim, and correlate. The per-host queries fan out over
-	// a bounded worker pool; each worker fills its own slot of `answers`, so
-	// the merge below — in sorted host order — is byte-identical for every
-	// worker count. A cancellation mid-round still charges the hosts
-	// dispatched so far, so the partial Report carries the cost actually
-	// incurred.
+	// tuple of the victim, and correlate. The per-host queries run as one
+	// HostBackend round (a bounded-worker fan-out in both the in-memory and
+	// HTTP backends); the correlation below merges in sorted host order —
+	// host, then tuple, then record — so the report is byte-identical for
+	// every worker count and backend. A cancellation mid-round still charges
+	// the hosts dispatched so far, so the partial Report carries the cost
+	// actually incurred.
 	victimPrio := victimPriority(ctx, a, alert)
-	type hostAnswer struct {
-		scanned  int
-		culprits []Culprit
+	queries := make([]hostagent.HeadersQuery, len(alert.Tuples))
+	for qi, tup := range alert.Tuples {
+		queries[qi] = hostagent.HeadersQuery{Switch: tup.Switch, Epochs: tup.Epochs}
 	}
-	answers := make([]hostAnswer, len(contact))
-	dispatched, cerr := rpc.FanOut(ctx, a.workers(), len(contact), func(ctx context.Context, i int) {
+	answers, dispatched, cerr := a.hostBackend().HeadersRound(ctx, a.workers(), contact, queries)
+	recCounts := make([]int, dispatched)
+	sawHigher := false
+	sawEqual := false
+	for i := 0; i < dispatched; i++ {
 		ip := contact[i]
-		hostAg, ok := a.Hosts[ip]
-		if !ok {
-			return
-		}
-		ans := &answers[i]
-		for _, tup := range alert.Tuples {
-			recs := hostAg.QueryHeaders(ctx, hostagent.HeadersQuery{Switch: tup.Switch, Epochs: tup.Epochs})
-			ans.scanned += len(recs)
+		scanned := 0
+		for qi, recs := range answers[i] {
+			tup := alert.Tuples[qi]
+			scanned += len(recs)
 			for _, rec := range recs {
 				if rec.Flow == alert.Flow {
 					continue
@@ -119,25 +119,17 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 				if c.Bytes == 0 {
 					c.Bytes = rec.Bytes
 				}
-				ans.culprits = append(ans.culprits, c)
+				d.PerSwitch[c.Switch] = appendCulprit(d.PerSwitch[c.Switch], c)
+				d.Culprits = appendCulprit(d.Culprits, c)
+				switch {
+				case c.Priority > victimPrio:
+					sawHigher = true
+				case c.Priority == victimPrio:
+					sawEqual = true
+				}
 			}
 		}
-	})
-	recCounts := make([]int, dispatched)
-	sawHigher := false
-	sawEqual := false
-	for i := 0; i < dispatched; i++ {
-		recCounts[i] = answers[i].scanned
-		for _, c := range answers[i].culprits {
-			d.PerSwitch[c.Switch] = appendCulprit(d.PerSwitch[c.Switch], c)
-			d.Culprits = appendCulprit(d.Culprits, c)
-			switch {
-			case c.Priority > victimPrio:
-				sawHigher = true
-			case c.Priority == victimPrio:
-				sawEqual = true
-			}
-		}
+		recCounts[i] = scanned
 	}
 	if cerr != nil {
 		chargePartial(d, "diagnosis", contact, recCounts)
@@ -184,10 +176,8 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 }
 
 func victimPriority(ctx context.Context, a *Analyzer, alert hostagent.Alert) uint8 {
-	if hostAg, ok := a.Hosts[alert.Host]; ok {
-		if prio, known := hostAg.QueryPriority(ctx, alert.Flow); known {
-			return prio
-		}
+	if prio, known := a.hostBackend().Priority(ctx, alert.Host, alert.Flow); known {
+		return prio
 	}
 	return 0
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sort"
 
-	"switchpointer/internal/hostagent"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
@@ -72,16 +71,11 @@ func (a *Analyzer) diagnoseImbalance(ctx context.Context, q ImbalanceQuery) (*Re
 	rep.HostsContacted = len(hosts)
 	rep.Consulted = hosts
 
-	// Per-host flow-size queries fan out over the worker pool; the byLink
+	// Per-host flow-size queries run as one HostBackend round; the byLink
 	// merge below runs in sorted host order (and the per-link series are
 	// sorted afterwards anyway), so the report is identical for every
-	// worker count.
-	answers := make([][]hostagent.FlowSize, len(hosts))
-	dispatched, cerr := rpc.FanOut(ctx, a.workers(), len(hosts), func(ctx context.Context, i int) {
-		if hostAg, ok := a.Hosts[hosts[i]]; ok {
-			answers[i] = hostAg.QueryFlowSizes(ctx, q.Switch)
-		}
-	})
+	// worker count and backend.
+	answers, dispatched, cerr := a.hostBackend().FlowSizesRound(ctx, a.workers(), hosts, q.Switch)
 	byLink := make(map[topo.LinkID][]uint64)
 	recCounts := make([]int, dispatched)
 	for i := 0; i < dispatched; i++ {

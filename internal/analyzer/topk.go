@@ -72,15 +72,11 @@ func (a *Analyzer) topK(ctx context.Context, q TopKQuery) (*Report, error) {
 	rep.HostsContacted = len(hosts)
 	rep.Consulted = hosts
 
-	// Per-host top-k queries fan out over the worker pool; each worker
-	// fills its own answer slot and the merge below runs in sorted host
-	// order, so the result is identical for every worker count.
-	answers := make([][]hostagent.FlowBytes, len(hosts))
-	dispatched, cerr := rpc.FanOut(ctx, a.workers(), len(hosts), func(ctx context.Context, i int) {
-		if hostAg, ok := a.Hosts[hosts[i]]; ok {
-			answers[i] = hostAg.QueryTopK(ctx, q.Switch, q.K)
-		}
-	})
+	// Per-host top-k queries run as one HostBackend round (fanned out over
+	// the worker pool in both backends); each host fills its own answer slot
+	// and the merge below runs in sorted host order, so the result is
+	// identical for every worker count and backend.
+	answers, dispatched, cerr := a.hostBackend().TopKRound(ctx, a.workers(), hosts, q.Switch, q.K)
 	merged := make(map[netsim.FlowKey]uint64)
 	recCounts := make([]int, dispatched)
 	for i := 0; i < dispatched; i++ {

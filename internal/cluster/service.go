@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// DiagnoseResponse is the body POST /diagnose answers with. A fully
+// successful query carries only Report; a cancelled/deadline-cut query that
+// still produced a partial report carries both (Error explains the cut);
+// admission failures carry only Error (with a non-200 status).
+type DiagnoseResponse struct {
+	Report *WireReport `json:"report,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// NewAnalyzerHandler exposes the analyzer service plane over HTTP:
+//
+//	POST /diagnose — QueryEnvelope in, DiagnoseResponse out. Admission
+//	                 failures map to status codes: queue full → 429,
+//	                 queue wait expired → 503, malformed query → 400.
+//	GET  /stats    — AdmissionStats counters.
+//	GET  /healthz  — liveness ("ok").
+//
+// Handlers are safe for concurrent requests; concurrency across diagnoses
+// is exactly what the admission controller bounds.
+func NewAnalyzerHandler(ad *Admission) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/diagnose", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var env QueryEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q, err := env.Query()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rep, err := ad.Run(r.Context(), q)
+		switch {
+		case errors.Is(err, ErrRejected):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, ErrExpired):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil && rep == nil:
+			// Validation or queue-side cancellation: no report to return.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := DiagnoseResponse{Report: WireFromReport(rep)}
+		if err != nil {
+			resp.Error = err.Error() // partial report: cost incurred so far
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ad.Stats())
+	})
+	addHealthz(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client submits queries to a running spd analyzer service.
+type Client struct {
+	// BaseURL is the analyzer service root, e.g. http://127.0.0.1:7643.
+	BaseURL string
+	// HTTP is the client to use (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Diagnose submits an envelope and returns the wire report. A partial
+// report (server-side cancellation) is returned together with an error
+// describing the cut; admission failures return nil and a typed-ish error
+// carrying the server's explanation.
+func (c *Client) Diagnose(ctx context.Context, env QueryEnvelope) (*WireReport, error) {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: marshal envelope: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/diagnose", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: post /diagnose: %w", err)
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: /diagnose status %d: %s", httpResp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var resp DiagnoseResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return resp.Report, fmt.Errorf("cluster: remote query cut short: %s", resp.Error)
+	}
+	return resp.Report, nil
+}
+
+// Stats fetches the admission counters.
+func (c *Client) Stats(ctx context.Context) (AdmissionStats, error) {
+	var stats AdmissionStats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
+	if err != nil {
+		return stats, err
+	}
+	httpResp, err := c.http().Do(req)
+	if err != nil {
+		return stats, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return stats, fmt.Errorf("cluster: /stats status %d", httpResp.StatusCode)
+	}
+	return stats, json.NewDecoder(httpResp.Body).Decode(&stats)
+}
+
+// WaitReady polls url (a /healthz endpoint) until it answers 200 or the
+// timeout elapses — the readiness gate daemons and scripts use before
+// pointing clients at a freshly started cluster.
+func WaitReady(ctx context.Context, url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: time.Second}
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: %s not ready after %v: %v", url, timeout, lastErr)
+}

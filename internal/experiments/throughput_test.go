@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDiagnosisThroughputScales asserts the experiment's reproducible
+// claim: reports/sec rises with the admission limit (1 → 4 → 16) under
+// overlapping alerts. The emulated per-round RTT makes the latency-hiding
+// effect large (≈4x and ≈10x ideal), so the asserted margins are loose
+// enough for noisy shared machines.
+func TestDiagnosisThroughputScales(t *testing.T) {
+	r, err := DiagnosisThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("want 3 limits, got %d rows", len(rows))
+	}
+	rate := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("rate cell %q: %v", row[3], err)
+		}
+		return v
+	}
+	r1, r4, r16 := rate(rows[0]), rate(rows[1]), rate(rows[2])
+	if r4 < 1.5*r1 {
+		t.Fatalf("limit 4 rate %.0f not scaling over limit 1 rate %.0f", r4, r1)
+	}
+	if r16 < 1.5*r4 {
+		t.Fatalf("limit 16 rate %.0f not scaling over limit 4 rate %.0f", r16, r4)
+	}
+	if !strings.Contains(r.Render(), "reports/sec") {
+		t.Fatal("artifact missing rate column")
+	}
+}

@@ -105,6 +105,9 @@ type Agent struct {
 
 	// OnAlert, when set, receives trigger events.
 	OnAlert func(a Alert)
+	// OnEvictError, when set, receives store-eviction flush failures from
+	// the EnableRetention sweep (a full disk on the sink, typically).
+	OnEvictError func(err error)
 
 	// DecodeErrors counts packets whose telemetry could not be decoded.
 	DecodeErrors uint64
@@ -214,6 +217,23 @@ func (a *Agent) checkTriggers() {
 			PrevGbps:   prev,
 			CurGbps:    cur,
 		})
+	})
+}
+
+// EnableRetention installs an eviction policy on the agent's store and
+// starts a periodic maintenance sweep (every `every` of virtual time; ≤ 0
+// selects 10 ms — one paper-default epoch). Cold records leave memory
+// through the store's gob flush path into ret.Sink; see store.Retention.
+// The sweep timer is weak, so an otherwise-idle simulation still drains.
+func (a *Agent) EnableRetention(ret store.Retention, every simtime.Time) {
+	if every <= 0 {
+		every = 10 * simtime.Millisecond
+	}
+	a.Store.SetRetention(ret)
+	a.net.Engine.EveryWeak(every, func() {
+		if _, err := a.Store.Maintain(a.net.Now()); err != nil && a.OnEvictError != nil {
+			a.OnEvictError(err)
+		}
 	})
 }
 
@@ -333,6 +353,19 @@ func (a *Agent) QueryFlowSizes(ctx context.Context, sw netsim.NodeID) []FlowSize
 		return true
 	})
 	return out
+}
+
+// LookupRecord returns a clone of one flow's full record, if the host holds
+// one — the cascade procedure's synthetic-alert source. The clone is taken
+// under the record's shard read lock, so it is safe concurrently with
+// absorption; the HTTP binding serves it at /record.
+func (a *Agent) LookupRecord(ctx context.Context, flow netsim.FlowKey) (*flowrec.Record, bool) {
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	var rec *flowrec.Record
+	ok := a.Store.View(flow, func(r *flowrec.Record) { rec = r.Clone() })
+	return rec, ok
 }
 
 // QueryPriority returns the recorded DSCP priority of a flow, if known.

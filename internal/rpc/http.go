@@ -56,6 +56,18 @@ type PriorityResponse struct {
 	Known    bool  `json:"known"`
 }
 
+// RecordRequest asks a host for one flow's full record (the cascade
+// procedure's synthetic-alert source).
+type RecordRequest struct {
+	Flow netsim.FlowKey `json:"flow"`
+}
+
+// RecordResponse is the answer to a RecordRequest.
+type RecordResponse struct {
+	Record *flowrec.Record `json:"record,omitempty"`
+	Known  bool            `json:"known"`
+}
+
 // PointersRequest asks a switch for its pointer union over an epoch range.
 type PointersRequest struct {
 	EpochLo simtime.Epoch `json:"epoch_lo"`
@@ -125,6 +137,14 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 		}
 		prio, known := a.QueryPriority(r.Context(), req.Flow)
 		writeJSON(w, PriorityResponse{Priority: prio, Known: known})
+	})
+	mux.HandleFunc("/record", func(w http.ResponseWriter, r *http.Request) {
+		var req RecordRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		rec, known := a.LookupRecord(r.Context(), req.Flow)
+		writeJSON(w, RecordResponse{Record: rec, Known: known})
 	})
 	return mux
 }
@@ -324,6 +344,13 @@ func (c *HTTPClient) QueryPriority(ctx context.Context, baseURL string, flow net
 	var out PriorityResponse
 	err := c.post(ctx, baseURL+"/priority", PriorityRequest{Flow: flow}, &out)
 	return out.Priority, out.Known, err
+}
+
+// QueryRecord fetches one flow's full record from its destination host.
+func (c *HTTPClient) QueryRecord(ctx context.Context, baseURL string, flow netsim.FlowKey) (*flowrec.Record, bool, error) {
+	var out RecordResponse
+	err := c.post(ctx, baseURL+"/record", RecordRequest{Flow: flow}, &out)
+	return out.Record, out.Known && err == nil, err
 }
 
 // InstallMPH distributes a minimal perfect hash table to the switch at

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"switchpointer/internal/flowrec"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+)
+
+// Retention bounds a store's resident record set so long-running hosts keep
+// only the hot window in memory — the "flush to local storage" policy made
+// continuous. Two triggers compose:
+//
+//   - Age: a record idle for more than HotEpochs epochs (HotEpochs × Alpha
+//     of virtual time since its LastSeen) is cold and gets evicted.
+//   - Size: when the store still exceeds MaxRecords, the coldest surplus
+//     (oldest LastSeen first) is evicted regardless of age.
+//
+// Evicted records leave through the store's gob Flush path: they are
+// appended to Sink as a stream of Flush-compatible snapshots (nil Sink
+// drops them). Zero triggers disable the respective bound; the zero
+// Retention disables eviction entirely.
+type Retention struct {
+	// HotEpochs is the age bound in epochs (0 = no age-based eviction).
+	HotEpochs int
+	// Alpha is the epoch size the age math uses; required for HotEpochs.
+	Alpha simtime.Time
+	// MaxRecords caps the resident set (0 = unbounded).
+	MaxRecords int
+	// Sink receives evicted records as gob snapshot segments (one segment
+	// per Maintain call that evicted anything; a segment decodes with the
+	// same schema Flush writes and Load reads). Nil drops evictions.
+	Sink io.Writer
+}
+
+// retention is the store-side policy state; maintMu serializes Maintain
+// sweeps and sink encoding against each other (shard access inside the
+// sweep uses the normal shard locks, so sweeps run concurrently with
+// queries and absorption).
+type retention struct {
+	maintMu sync.Mutex
+	cfg     Retention
+	evicted uint64
+}
+
+// SetRetention installs (or, with a zero Retention, removes) the eviction
+// policy. Call before concurrent use or between Maintain sweeps.
+func (st *RecordStore) SetRetention(r Retention) {
+	st.ret.maintMu.Lock()
+	defer st.ret.maintMu.Unlock()
+	st.ret.cfg = r
+}
+
+// Evicted returns the number of records evicted by Maintain so far.
+func (st *RecordStore) Evicted() uint64 {
+	st.ret.maintMu.Lock()
+	defer st.ret.maintMu.Unlock()
+	return st.ret.evicted
+}
+
+// Maintain runs one eviction sweep at virtual time now, applying the
+// installed Retention: cold records (age bound) leave first, then the
+// coldest surplus beyond MaxRecords. Evicted records are flushed to the
+// sink in deterministic (LastSeen, flow-key) order. It returns how many
+// records were evicted this sweep.
+//
+// Maintain is safe to run concurrently with queries and packet absorption —
+// removal holds the affected shard's write lock and invalidates the
+// memoized per-switch answers, exactly like a path-change reindex. Sweeps
+// themselves are serialized against each other.
+func (st *RecordStore) Maintain(now simtime.Time) (int, error) {
+	st.ret.maintMu.Lock()
+	defer st.ret.maintMu.Unlock()
+	cfg := st.ret.cfg
+
+	var victims []*flowrec.Record
+
+	// Age pass: evict everything idle past the hot window.
+	if cfg.HotEpochs > 0 && cfg.Alpha > 0 {
+		cutoff := now - simtime.Time(cfg.HotEpochs)*cfg.Alpha
+		for i := range st.shards {
+			sh := &st.shards[i]
+			sh.mu.Lock()
+			var cold []*flowrec.Record
+			for _, r := range sh.recs {
+				if r.LastSeen < cutoff {
+					cold = append(cold, r)
+				}
+			}
+			// Remove after collection so the map is not mutated mid-range.
+			for _, r := range cold {
+				st.removeLocked(sh, r)
+			}
+			sh.mu.Unlock()
+			victims = append(victims, cold...)
+		}
+	}
+
+	// Size pass: evict the coldest surplus beyond the cap.
+	if cfg.MaxRecords > 0 {
+		if surplus := st.Len() - cfg.MaxRecords; surplus > 0 {
+			type coldKey struct {
+				flow netsim.FlowKey
+				last simtime.Time
+			}
+			var all []coldKey
+			for i := range st.shards {
+				sh := &st.shards[i]
+				sh.mu.RLock()
+				for k, r := range sh.recs {
+					all = append(all, coldKey{flow: k, last: r.LastSeen})
+				}
+				sh.mu.RUnlock()
+			}
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].last != all[j].last {
+					return all[i].last < all[j].last
+				}
+				return flowLess(all[i].flow, all[j].flow)
+			})
+			if surplus > len(all) {
+				surplus = len(all)
+			}
+			for _, c := range all[:surplus] {
+				sh := st.shardOf(c.flow)
+				sh.mu.Lock()
+				// Re-check LastSeen under the write lock: a record that
+				// absorbed traffic since the snapshot is no longer the
+				// coldest and must survive this sweep.
+				if r, live := sh.recs[c.flow]; live && r.LastSeen == c.last {
+					st.removeLocked(sh, r)
+					victims = append(victims, r)
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}
+
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	st.ret.evicted += uint64(len(victims))
+
+	if cfg.Sink == nil {
+		return len(victims), nil
+	}
+	// Flush through the gob path in deterministic cold-first order. The
+	// victims are no longer reachable from the store, so encoding the live
+	// pointers is race-free. Each sweep writes one self-contained segment
+	// (fresh encoder), so any segment decodes independently with Load.
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].LastSeen != victims[j].LastSeen {
+			return victims[i].LastSeen < victims[j].LastSeen
+		}
+		return flowLess(victims[i].Flow, victims[j].Flow)
+	})
+	if err := gob.NewEncoder(cfg.Sink).Encode(&snapshot{Records: victims}); err != nil {
+		return len(victims), fmt.Errorf("store: eviction flush: %w", err)
+	}
+	return len(victims), nil
+}
+
+// removeLocked evicts one record from its (write-locked) shard: the record
+// map, the by-switch index, the path memo, and every affected memoized
+// answer.
+func (st *RecordStore) removeLocked(sh *shard, r *flowrec.Record) {
+	delete(sh.recs, r.Flow)
+	for _, sw := range sh.indexed[r.Flow] {
+		if m, ok := sh.bySwitch[sw]; ok {
+			delete(m, r.Flow)
+		}
+		st.invalidate(sh, sw)
+	}
+	delete(sh.indexed, r.Flow)
+}

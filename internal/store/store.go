@@ -80,6 +80,10 @@ type RecordStore struct {
 	mergeMu sync.Mutex
 	merged  map[netsim.NodeID]mergedEntry
 	gens    map[netsim.NodeID]uint64
+
+	// ret holds the optional eviction policy (see SetRetention/Maintain in
+	// retention.go). Zero value = no eviction.
+	ret retention
 }
 
 // mergedEntry is a cached cross-shard BySwitch answer, valid while the

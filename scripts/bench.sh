@@ -15,7 +15,7 @@
 #               ever slows a run down, so the minimum is the closest sample
 #               to the true cost
 #
-# Output schema (out.json, default BENCH_PR3.json):
+# Output schema (out.json, default BENCH_PR4.json):
 #   {
 #     "benchtime": "3x",
 #     "baseline":  { "<Benchmark>": {"ns_per_op":…, "b_per_op":…,
@@ -24,14 +24,14 @@
 #   }
 # "current" is overwritten on every run. "baseline" is preserved when the
 # output file already has one; on a fresh file the baseline seeds from the
-# previous PR's artifact if present (BENCH_PR3.json seeds from
-# BENCH_PR2.json's "current" — the state the PR 3 optimizations started
-# from), else from this first run.
+# previous PR's artifact if present (BENCH_PR4.json seeds from
+# BENCH_PR3.json's "current" — the state this PR started from), else from
+# this first run.
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
-SEED_FROM="BENCH_PR2.json"
+OUT="${1:-BENCH_PR4.json}"
+SEED_FROM="BENCH_PR3.json"
 BENCHTIME="${BENCHTIME:-3x}"
 PATTERN="${PATTERN:-.}"
 BENCHCOUNT="${BENCHCOUNT:-5}"
@@ -106,7 +106,8 @@ print(f"bench: wrote {out} ({len(current)} benchmarks)")
 # name, so new metrics added to those benchmarks stay exempt while new
 # virtual-time benchmarks are gated automatically.
 WALL_CLOCK_BENCHES = ("BenchmarkFig9DatapathThroughput", "BenchmarkFig9PerPacket",
-                      "BenchmarkAblationPacketMix")
+                      "BenchmarkAblationPacketMix", "BenchmarkDiagnosisThroughput",
+                      "BenchmarkCalendarBursty")
 rows = []
 drift = []
 for name in sorted(current):

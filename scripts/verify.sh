@@ -10,9 +10,10 @@ go test ./...
 
 # Race detector over the concurrent surface (analyzer fan-out, RPC fan-out +
 # HTTP client, host-agent query executors, the sharded record store under
-# concurrent query+absorption, and the event engine). Scoped to these
+# concurrent query+absorption, the event engine, and the cluster service
+# plane — admission controller + loopback HTTP trio). Scoped to these
 # packages so the full gate stays fast.
-go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq
+go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster
 
 mkdir -p bin
 go build -o bin/ ./cmd/...
@@ -20,4 +21,54 @@ for d in examples/*/; do
 	echo "build $d"
 	go build -o /dev/null "./$d"
 done
+
+# e2e smoke: a loopback spd trio (host + switch + analyzer daemons, each a
+# separate process rebuilding the same deterministic scenario) answers one
+# RedLightsQuery submitted over the wire by spctl --remote. Asserts the
+# report is non-empty (a culprit was found). Every daemon binds an
+# ephemeral port (-listen 127.0.0.1:0) and its actual address is scraped
+# from the "listening on" stderr line, so leftover processes or port
+# collisions can never make the smoke pass stale or fail spuriously.
+SMOKE_DIR="$(mktemp -d)"
+trap 'kill $SPD_HOST_PID $SPD_SWITCH_PID $SPD_ANALYZER_PID 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+SPD_HOST_PID= SPD_SWITCH_PID= SPD_ANALYZER_PID=
+
+# spd_addr LOGFILE — waits for the daemon's "listening on" line and prints
+# the bound host:port.
+spd_addr() {
+	i=0
+	while [ $i -lt 300 ]; do
+		addr="$(sed -n 's/.*listening on \(.*\)$/\1/p' "$1" | head -n 1)"
+		if [ -n "$addr" ]; then
+			echo "$addr"
+			return 0
+		fi
+		i=$((i + 1))
+		sleep 0.1
+	done
+	echo "verify: daemon never reported its address ($1):" >&2
+	cat "$1" >&2
+	return 1
+}
+
+./bin/spd host -scenario redlights -listen 127.0.0.1:0 2>"$SMOKE_DIR/host.log" &
+SPD_HOST_PID=$!
+./bin/spd switch -scenario redlights -listen 127.0.0.1:0 2>"$SMOKE_DIR/switch.log" &
+SPD_SWITCH_PID=$!
+HOST_ADDR="$(spd_addr "$SMOKE_DIR/host.log")"
+SWITCH_ADDR="$(spd_addr "$SMOKE_DIR/switch.log")"
+./bin/spd analyzer -scenario redlights -listen 127.0.0.1:0 \
+	-hosts "http://$HOST_ADDR" -switches "http://$SWITCH_ADDR" 2>"$SMOKE_DIR/analyzer.log" &
+SPD_ANALYZER_PID=$!
+ANALYZER_ADDR="$(spd_addr "$SMOKE_DIR/analyzer.log")"
+./bin/spd wait -url "http://$HOST_ADDR/healthz" -timeout 60s
+./bin/spd wait -url "http://$SWITCH_ADDR/healthz" -timeout 60s
+./bin/spd wait -url "http://$ANALYZER_ADDR/healthz" -timeout 60s
+SMOKE_OUT="$(./bin/spctl -problem redlights -remote "http://$ANALYZER_ADDR")"
+echo "$SMOKE_OUT"
+case "$SMOKE_OUT" in
+*"diagnosis: too-many-red-lights"*"culprit:"*) echo "e2e smoke: OK" ;;
+*) echo "e2e smoke: FAILED (unexpected report above)"; exit 1 ;;
+esac
+
 echo "verify: OK"
