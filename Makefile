@@ -20,20 +20,21 @@ test:
 ## host-agent query executors, sharded record store, event engine, cluster
 ## service plane) — scoped so the gate stays fast
 race:
-	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster
+	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync
 
 ## bench: run the paper-figure benchmark suite with -benchmem, refresh the
-## machine-readable perf-trajectory artifact (BENCH_PR4.json; its baseline
-## froze the PR 3 numbers) — including the diagnosis-throughput and bursty
-## calendar sweeps — and print the before/after delta
+## machine-readable perf-trajectory artifact (BENCH_PR5.json; its baseline
+## froze the PR 4 numbers) — including the diagnosis-throughput, bursty
+## calendar, and snapshot-bootstrap sweeps — and print the before/after
+## delta
 bench:
 	scripts/bench.sh
 
 ## bench-quick: the inner perf loop — Fig 8 + simulator event rate (incl.
-## the scheduler ablation) + the bursty calendar sweep, one iteration, no
-## artifact refresh
+## the scheduler ablation) + the bursty calendar sweep + the state-sync
+## snapshot bootstrap, one iteration, no artifact refresh
 bench-quick:
-	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue|CalendarBursty' -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue|CalendarBursty|SnapshotBootstrap' -benchmem -benchtime 1x .
 
 ## binaries: every cmd/ tool and examples/ program must compile
 binaries:

@@ -6,13 +6,19 @@
 package switchpointer
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"strconv"
 	"testing"
+	"time"
 
+	"switchpointer/internal/cluster"
 	"switchpointer/internal/eventq"
 	"switchpointer/internal/experiments"
 	"switchpointer/internal/simtime"
+	"switchpointer/internal/statesync"
+	"switchpointer/internal/store"
 )
 
 func runExperiment(b *testing.B, run func() (*experiments.Result, error)) *experiments.Result {
@@ -346,4 +352,46 @@ func BenchmarkCalendarBursty(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkSnapshotBootstrap measures the state-sync snapshot leg end to
+// end: a live red-lights host plane served over real loopback HTTP, each
+// iteration bootstrapping a fresh record store for every host from it —
+// segment encode, frame, stream, decode, Put. The network is emulated at
+// 250 µs per pull round at the Bootstrapper's latency seam (this container
+// has 1 CPU, so deployment-real RTT is emulated, not measured — the same
+// convention as BenchmarkDiagnosisThroughput). segments/op and records/op
+// are deterministic scenario properties: a drift means segments were lost
+// on the wire.
+func BenchmarkSnapshotBootstrap(b *testing.B) {
+	s, err := cluster.BuildScenario("redlights", 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run()
+	srv := httptest.NewServer(cluster.HostMux(s.Testbed, nil))
+	defer srv.Close()
+
+	ips := s.HostIPs()
+	boot := &statesync.Bootstrapper{RTT: 250 * time.Microsecond}
+	var segments, records int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := 0
+		for _, ip := range ips {
+			st := store.New()
+			sg, rc, err := boot.BootstrapStore(context.Background(), srv.URL+"/hosts/"+ip.String(), store.EveryEpoch, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			segments += sg
+			records += rc
+			got += rc
+		}
+		if got == 0 {
+			b.Fatal("bootstrap absorbed no records")
+		}
+	}
+	b.ReportMetric(float64(segments)/float64(b.N), "segments/op")
+	b.ReportMetric(float64(records)/float64(b.N), "records/op")
 }

@@ -25,8 +25,16 @@
 //
 // Point spctl at a running analyzer with `spctl -problem redlights -remote
 // http://127.0.0.1:7643`. All daemons shut down gracefully on
-// SIGINT/SIGTERM. `spd wait` polls a /healthz URL until ready — the
-// readiness gate scripts use.
+// SIGINT/SIGTERM. `spd wait` polls a /healthz URL until the daemon reports
+// state "live" — the readiness gate scripts use.
+//
+// State sync: every daemon serves the statesync plane — hosts expose GET
+// /hosts/<ip>/snapshot (epoch-range-addressable gob segments) and POST
+// /hosts/<ip>/ingest (live record feed), switches GET
+// /switches/<id>/snapshot (pointer + control store + MPH) — and a fresh
+// daemon started with -bootstrap-from <peer-url> absorbs a live peer's
+// state instead of replaying the scenario, serving queries the whole time
+// (readiness syncing → live at /healthz).
 package main
 
 import (
@@ -38,10 +46,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"switchpointer/internal/cluster"
+	"switchpointer/internal/scenario"
+	"switchpointer/internal/statesync"
+	"switchpointer/internal/store"
 )
 
 func main() {
@@ -74,10 +86,17 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `spd — the SwitchPointer cluster daemon
 
   spd host     -scenario NAME -listen ADDR [-m M -n N]
-  spd switch   -scenario NAME -listen ADDR [-m M -n N]
+               [-bootstrap-from URL] [-hot-epochs H -max-records R -cold-dir DIR]
+  spd switch   -scenario NAME -listen ADDR [-m M -n N] [-bootstrap-from URL]
   spd analyzer -scenario NAME -listen ADDR -hosts URL -switches URL
                [-m M -n N -max-inflight K -max-queue Q -queue-wait D]
   spd wait     -url URL [-timeout D]
+
+With -bootstrap-from, the daemon does NOT replay the scenario: it serves
+immediately in the "syncing" readiness state, pulls the peer daemon's
+state-sync snapshots in the background, and flips /healthz to "live" once
+the bootstrap lands (spd wait polls for exactly that). Host daemons also
+accept a live ingest feed at POST /hosts/<ip>/ingest throughout.
 
 Scenarios: %v
 `, cluster.ScenarioNames())
@@ -96,6 +115,10 @@ func serveCmd(role string, args []string) error {
 		maxInflight  = fs.Int("max-inflight", 0, "analyzer: concurrent diagnosis bound (0 = default 4)")
 		maxQueue     = fs.Int("max-queue", 0, "analyzer: admission queue depth (0 = default 64)")
 		queueWait    = fs.Duration("queue-wait", 0, "analyzer: max queue wait before ErrExpired (0 = unbounded)")
+		bootstrap    = fs.String("bootstrap-from", "", "host/switch: base URL of a live peer daemon to bootstrap state from (skips scenario replay)")
+		hotEpochs    = fs.Int("hot-epochs", 0, "host: retention age bound in epochs (0 = no age eviction)")
+		maxRecords   = fs.Int("max-records", 0, "host: retention resident-record cap (0 = unbounded)")
+		coldDir      = fs.String("cold-dir", "", "host: directory for the evicted-segment logs (empty = in-memory logs when retention is on)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,16 +128,71 @@ func serveCmd(role string, args []string) error {
 	if err != nil {
 		return err
 	}
-	end := s.Run()
-	fmt.Fprintf(os.Stderr, "spd %s: scenario %q played to %v\n", role, *scenarioName, end)
+	// Retention flags must never be silently inert: reject every
+	// combination that would leave the operator believing the store is
+	// bounded (or a cold log armed) when nothing runs.
+	retentionFlags := *hotEpochs > 0 || *maxRecords > 0 || *coldDir != ""
+	if retentionFlags {
+		if role != "host" {
+			return errors.New("-hot-epochs/-max-records/-cold-dir apply to the host role only")
+		}
+		if *bootstrap != "" {
+			// The retention sweep runs on the scenario-replay engine timer;
+			// a bootstrapped daemon never replays.
+			return errors.New("-hot-epochs/-max-records/-cold-dir cannot combine with -bootstrap-from: retention sweeps run during scenario replay, which -bootstrap-from skips")
+		}
+		if *hotEpochs <= 0 && *maxRecords <= 0 {
+			return errors.New("-cold-dir needs -hot-epochs and/or -max-records: without an eviction bound nothing is ever flushed to the cold log")
+		}
+	}
+	if role == "host" && retentionFlags {
+		// Retention must be armed before the scenario plays: the sweep runs
+		// on the engine timer during the replay, so the daemon comes up with
+		// a bounded resident set and an indexed cold log per host — queries
+		// past the hot window transparently consult it (cold read-back).
+		for ip, ag := range s.Testbed.HostAgents {
+			dir := ""
+			if *coldDir != "" {
+				dir = filepath.Join(*coldDir, ip.String())
+			}
+			seglog, err := statesync.NewSegmentLog(dir)
+			if err != nil {
+				return err
+			}
+			ag.EnableRetention(store.Retention{
+				HotEpochs:  *hotEpochs,
+				Alpha:      s.Testbed.Opt.Alpha,
+				MaxRecords: *maxRecords,
+				Cold:       seglog,
+			}, 0)
+		}
+		fmt.Fprintf(os.Stderr, "spd host: retention armed (hot-epochs %d, max-records %d, cold-dir %q)\n",
+			*hotEpochs, *maxRecords, *coldDir)
+	}
+
+	// With -bootstrap-from the scenario is NOT replayed: the daemon serves
+	// immediately in the syncing state and absorbs the peer's snapshots in
+	// the background; without it, state comes from the deterministic replay
+	// and the daemon is live from the first request.
+	var rd *statesync.Readiness
+	if *bootstrap != "" {
+		if role == "analyzer" {
+			return errors.New("analyzer holds no telemetry; -bootstrap-from applies to host/switch roles")
+		}
+		rd = statesync.NewReadiness(false)
+		fmt.Fprintf(os.Stderr, "spd %s: bootstrapping from %s (serving in syncing state)\n", role, *bootstrap)
+	} else {
+		end := s.Run()
+		fmt.Fprintf(os.Stderr, "spd %s: scenario %q played to %v\n", role, *scenarioName, end)
+	}
 
 	var handler http.Handler
 	switch role {
 	case "host":
-		handler = cluster.HostMux(s.Testbed)
+		handler = cluster.HostMux(s.Testbed, rd)
 		fmt.Fprintf(os.Stderr, "spd host: serving %d host agents under /hosts/<ip>/\n", len(s.Testbed.HostAgents))
 	case "switch":
-		handler = cluster.SwitchMux(s.Testbed)
+		handler = cluster.SwitchMux(s.Testbed, rd)
 		fmt.Fprintf(os.Stderr, "spd switch: serving %d switch agents under /switches/<id>/\n", len(s.Testbed.SwitchAgents))
 	case "analyzer":
 		if *hostsURL == "" || *switchesURL == "" {
@@ -136,7 +214,42 @@ func serveCmd(role string, args []string) error {
 		fmt.Fprintf(os.Stderr, "spd analyzer: /diagnose ready (max %d in flight, %d queued, wait %v)\n",
 			cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueWait)
 	}
+	if rd != nil {
+		go runBootstrap(role, *bootstrap, s.Testbed, rd)
+	}
 	return serve(*listen, handler, role)
+}
+
+// runBootstrap absorbs the peer daemon's snapshots in the background while
+// this daemon is already serving (queries answer from whatever has landed),
+// then flips readiness to live. A failed bootstrap leaves the daemon in the
+// syncing state — `spd wait` keeps waiting, which is the honest failure
+// mode.
+func runBootstrap(role, peer string, tb *scenario.Testbed, rd *statesync.Readiness) {
+	ctx := context.Background()
+	if err := cluster.WaitReady(ctx, peer+"/healthz", 60*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "spd %s: bootstrap peer never went live: %v\n", role, err)
+		return
+	}
+	b := &statesync.Bootstrapper{Readiness: rd}
+	start := time.Now()
+	switch role {
+	case "host":
+		segs, recs, err := cluster.BootstrapHosts(ctx, b, peer, tb)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spd host: bootstrap failed: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "spd host: bootstrap complete (%d segments, %d records, %v); live\n",
+			segs, recs, time.Since(start).Round(time.Millisecond))
+	case "switch":
+		if err := cluster.BootstrapSwitches(ctx, b, peer, tb); err != nil {
+			fmt.Fprintf(os.Stderr, "spd switch: bootstrap failed: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "spd switch: bootstrap complete (%v); live\n", time.Since(start).Round(time.Millisecond))
+	}
+	rd.SetLive()
 }
 
 // serve runs an HTTP server until SIGINT/SIGTERM, then shuts down
@@ -170,7 +283,9 @@ func serve(addr string, handler http.Handler, role string) error {
 	}
 }
 
-// waitCmd polls a /healthz URL until it answers 200.
+// waitCmd polls a /healthz URL until the daemon reports readiness state
+// "live" (a bootstrapping daemon answers "syncing" until its peer snapshot
+// lands).
 func waitCmd(args []string) error {
 	fs := flag.NewFlagSet("spd wait", flag.ExitOnError)
 	var (

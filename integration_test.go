@@ -152,7 +152,7 @@ func TestIntegrationHostChurn(t *testing.T) {
 	// R2's bit remains set for the old epochs — stale but harmless: the
 	// analyzer simply contacts a host that reports no matching records.
 	agR2 := tb.HostAgents[r2.IP()]
-	recs := agR2.QueryHeaders(context.Background(), hostagent.HeadersQuery{Switch: sl.NodeID(), Epochs: simtime.EpochRange{Lo: 1000, Hi: 1001}})
+	recs := agR2.QueryHeaders(context.Background(), hostagent.HeadersQuery{Switch: sl.NodeID(), Epochs: simtime.EpochRange{Lo: 1000, Hi: 1001}}).Records
 	if len(recs) != 0 {
 		t.Fatalf("silent host returned future records")
 	}

@@ -47,6 +47,7 @@ func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (
 		PrunedHosts:    first.PrunedHosts,
 		HostsContacted: first.HostsContacted,
 		Consulted:      first.Consulted,
+		ColdSegments:   first.ColdSegments,
 		Cascade:        chain,
 		Kind:           KindInconclusive,
 	}
@@ -83,6 +84,7 @@ func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (
 		result.PointerHosts += next.PointerHosts
 		result.PrunedHosts += next.PrunedHosts
 		result.HostsContacted += next.HostsContacted
+		result.ColdSegments += next.ColdSegments
 		result.Consulted = dedupIPs(result.Consulted, next.Consulted)
 		for sw, cs := range next.PerSwitch {
 			for _, c := range filterAbovePriority(cs, top.Priority) {

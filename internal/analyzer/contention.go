@@ -87,15 +87,20 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 	}
 	answers, dispatched, cerr := a.hostBackend().HeadersRound(ctx, a.workers(), contact, queries)
 	recCounts := make([]int, dispatched)
+	var coldHosts []string
+	var coldRecs []int
 	sawHigher := false
 	sawEqual := false
 	for i := 0; i < dispatched; i++ {
 		ip := contact[i]
 		scanned := 0
-		for qi, recs := range answers[i] {
+		coldScanned := 0
+		for qi, ans := range answers[i] {
 			tup := alert.Tuples[qi]
-			scanned += len(recs)
-			for _, rec := range recs {
+			scanned += len(ans.Records)
+			coldScanned += ans.ColdRecords
+			d.ColdSegments += ans.ColdSegments
+			for _, rec := range ans.Records {
 				if rec.Flow == alert.Flow {
 					continue
 				}
@@ -130,12 +135,30 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 			}
 		}
 		recCounts[i] = scanned
+		if coldScanned > 0 {
+			coldHosts = append(coldHosts, ip.String())
+			coldRecs = append(coldRecs, coldScanned)
+		}
 	}
 	if cerr != nil {
 		chargePartial(d, "diagnosis", contact, recCounts)
+		// The dispatched prefix's cold scans happened too: charge them so a
+		// partial report never carries ColdSegments without the matching
+		// round (the Report.ColdSegments invariant holds even cancelled).
+		if len(coldHosts) > 0 {
+			clock.HostsQueried("cold-read-back", coldHosts, coldRecs)
+		}
 		return cancelled(d, ctx, "host queries")
 	}
 	clock.HostsQueried("diagnosis", hostNames(contact), recCounts)
+	// Cold read-back: hosts whose epoch window had aged out of the hot set
+	// consulted flushed segments; that telemetry is a second request round
+	// trip to those hosts, charged explicitly so virtual-time accounting
+	// stays honest. A diagnosis answered entirely from hot windows charges
+	// nothing here, keeping all hot-window metrics byte-identical.
+	if len(coldHosts) > 0 {
+		clock.HostsQueried("cold-read-back", coldHosts, coldRecs)
+	}
 
 	sortCulprits(d.Culprits)
 	for sw := range d.PerSwitch {

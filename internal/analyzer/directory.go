@@ -248,4 +248,3 @@ func (d *MemoryDirectory) Distribute() error {
 	}
 	return nil
 }
-

@@ -39,8 +39,11 @@ import (
 // admission controller overlaps whole diagnoses).
 type HostBackend interface {
 	// HeadersRound asks each host for records matching each query:
-	// answers[i][q] holds hosts[i]'s records for queries[q].
-	HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) (answers [][][]*flowrec.Record, dispatched int, err error)
+	// answers[i][q] holds hosts[i]'s answer for queries[q] — the matching
+	// records plus the host's cold read-back accounting (segments decoded
+	// past the hot window), which the procedures charge as one extra
+	// virtual-time round.
+	HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) (answers [][]hostagent.HeadersAnswer, dispatched int, err error)
 	// TopKRound asks each host for its top-k flows through switch sw.
 	TopKRound(ctx context.Context, workers int, hosts []netsim.IPv4, sw netsim.NodeID, k int) (answers [][]hostagent.FlowBytes, dispatched int, err error)
 	// FlowSizesRound asks each host for flow sizes + egress links at sw.
@@ -72,17 +75,16 @@ type MemoryHosts struct {
 var _ HostBackend = MemoryHosts{}
 
 // HeadersRound implements HostBackend over in-process agents.
-func (m MemoryHosts) HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) ([][][]*flowrec.Record, int, error) {
-	answers := make([][][]*flowrec.Record, len(hosts))
+func (m MemoryHosts) HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) ([][]hostagent.HeadersAnswer, int, error) {
+	answers := make([][]hostagent.HeadersAnswer, len(hosts))
 	dispatched, err := rpc.FanOut(ctx, workers, len(hosts), func(ctx context.Context, i int) {
 		ag, ok := m.Agents[hosts[i]]
 		if !ok {
 			return
 		}
-		per := make([][]*flowrec.Record, len(queries))
-		for qi, q := range queries {
-			per[qi] = ag.QueryHeaders(ctx, q)
-		}
+		// One multi-query pass per host: cold segments decode once per
+		// round, not once per alert tuple.
+		per := ag.QueryHeadersMulti(ctx, queries)
 		answers[i] = per
 	})
 	return answers, dispatched, err

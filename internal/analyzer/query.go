@@ -138,6 +138,11 @@ type Report struct {
 	HostsContacted int
 	// Consulted is the set of end hosts actually queried, sorted.
 	Consulted []netsim.IPv4
+	// ColdSegments counts flushed segments hosts decoded to answer epoch
+	// windows that had aged out of their hot sets (cold read-back). Zero for
+	// a diagnosis answered entirely from resident telemetry; when non-zero,
+	// the Clock carries the matching extra "cold-read-back" round.
+	ColdSegments int
 
 	// Clock carries the virtual-time cost breakdown (Fig 7). It is always
 	// non-nil, and holds the partial cost when the query was cancelled.

@@ -67,25 +67,20 @@ func (r *RemoteHosts) workers(callerWorkers int) int {
 	return r.Workers
 }
 
-// HeadersRound implements HostBackend over HTTP: one /headers POST per
-// (host, query) pair, hosts in parallel, queries per host in order.
-func (r *RemoteHosts) HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) ([][][]*flowrec.Record, int, error) {
+// HeadersRound implements HostBackend over HTTP: one /headers-batch POST
+// per host carrying every query of the round (matching the one-round
+// virtual-time charge), hosts in parallel, answers per host in query
+// order. The hosts' cold read-back accounting rides the wire form, so a
+// remote diagnosis charges the extra round exactly like the in-memory one.
+func (r *RemoteHosts) HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) ([][]hostagent.HeadersAnswer, int, error) {
 	results, err := rpc.QueryHosts(ctx, r.client, r.workers(workers), r.urlsFor(hosts),
-		func(ctx context.Context, c *rpc.HTTPClient, url string) ([][]*flowrec.Record, error) {
+		func(ctx context.Context, c *rpc.HTTPClient, url string) ([]hostagent.HeadersAnswer, error) {
 			if url == "" {
 				return nil, nil
 			}
-			per := make([][]*flowrec.Record, len(queries))
-			for qi, q := range queries {
-				recs, err := c.QueryHeaders(ctx, url, q.Switch, q.Epochs)
-				if err != nil {
-					return nil, err
-				}
-				per[qi] = recs
-			}
-			return per, nil
+			return c.QueryHeadersBatch(ctx, url, queries)
 		})
-	answers := make([][][]*flowrec.Record, len(hosts))
+	answers := make([][]hostagent.HeadersAnswer, len(hosts))
 	for i := range results {
 		answers[i] = results[i].Val
 	}

@@ -34,12 +34,12 @@ func TestLoopbackEquivalenceAllKinds(t *testing.T) {
 		scenario string
 		m, n     int
 	}{
-		{"priority", 4, 0},    // ContentionQuery → priority-contention
-		{"microburst", 4, 0},  // ContentionQuery → microburst-contention
-		{"redlights", 0, 0},   // RedLightsQuery
-		{"cascade", 0, 0},     // CascadeQuery
+		{"priority", 4, 0},      // ContentionQuery → priority-contention
+		{"microburst", 4, 0},    // ContentionQuery → microburst-contention
+		{"redlights", 0, 0},     // RedLightsQuery
+		{"cascade", 0, 0},       // CascadeQuery
 		{"loadimbalance", 0, 8}, // ImbalanceQuery
-		{"topk", 0, 8},        // TopKQuery
+		{"topk", 0, 8},          // TopKQuery
 	}
 	for _, tc := range cases {
 		t.Run(tc.scenario, func(t *testing.T) {

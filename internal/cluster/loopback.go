@@ -10,40 +10,63 @@ import (
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/scenario"
+	"switchpointer/internal/statesync"
 )
 
 // HostMux serves every host agent of a testbed on one handler, multiplexed
-// by IP: agent for host ip lives under /hosts/<ip>/ (the rpc.NewHostHandler
-// routes below it). A /healthz route answers liveness. This is what
-// `spd host` serves; HostURLs derives the matching per-host base URLs.
-func HostMux(tb *scenario.Testbed) http.Handler {
+// by IP: agent for host ip lives under /hosts/<ip>/ — the rpc.NewHostHandler
+// query routes plus the state-sync plane (GET /hosts/<ip>/snapshot, POST
+// /hosts/<ip>/ingest). /healthz answers the statesync.Health document
+// (state + resident-record/evicted-segment accounting) against rd; a nil rd
+// reports permanently live — the non-bootstrap daemon. This is what `spd
+// host` serves; HostURLs derives the matching per-host base URLs.
+func HostMux(tb *scenario.Testbed, rd *statesync.Readiness) http.Handler {
 	mux := http.NewServeMux()
 	for ip, ag := range tb.HostAgents {
 		prefix := "/hosts/" + ip.String()
 		mux.Handle(prefix+"/", http.StripPrefix(prefix, rpc.NewHostHandler(ag)))
+		mux.Handle(prefix+"/snapshot", statesync.HostSnapshotHandler(ag))
+		mux.Handle(prefix+"/ingest", statesync.IngestHandler(ag, rd))
 	}
-	addHealthz(mux)
+	mux.Handle("/healthz", statesync.HealthzHandler(rd, hostStats(tb)))
 	return mux
 }
 
+// hostStats sums a host daemon's /healthz accounting: records resident
+// across every agent's store, and flushed (evicted) segments across every
+// agent's cold read-back log.
+func hostStats(tb *scenario.Testbed) func() (resident, evictedSegments int) {
+	return func() (resident, evictedSegments int) {
+		for _, ag := range tb.HostAgents {
+			resident += ag.Store.Len()
+			if cold := ag.ColdReader(); cold != nil {
+				evictedSegments += len(cold.Manifests())
+			}
+		}
+		return resident, evictedSegments
+	}
+}
+
 // SwitchMux serves every switch agent of a testbed on one handler,
-// multiplexed by switch ID under /switches/<id>/ — what `spd switch`
-// serves.
-func SwitchMux(tb *scenario.Testbed) http.Handler {
+// multiplexed by switch ID under /switches/<id>/ (the rpc.NewSwitchHandler
+// routes below it, including the state-sync GET /switches/<id>/snapshot).
+// /healthz reports readiness against rd plus the daemon's pushed
+// control-store slot count as its resident-record figure — what `spd
+// switch` serves.
+func SwitchMux(tb *scenario.Testbed, rd *statesync.Readiness) http.Handler {
 	mux := http.NewServeMux()
 	for id, ag := range tb.SwitchAgents {
 		prefix := "/switches/" + strconv.Itoa(int(id))
 		mux.Handle(prefix+"/", http.StripPrefix(prefix, rpc.NewSwitchHandler(ag)))
 	}
-	addHealthz(mux)
+	mux.Handle("/healthz", statesync.HealthzHandler(rd, func() (int, int) {
+		resident := 0
+		for _, ag := range tb.SwitchAgents {
+			resident += ag.ControlStoreLen()
+		}
+		return resident, 0
+	}))
 	return mux
-}
-
-func addHealthz(mux *http.ServeMux) {
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
-	})
 }
 
 // HostURLs maps every host IP to its base URL under a HostMux server root.
@@ -123,12 +146,12 @@ type Loopback struct {
 func NewLoopback(tb *scenario.Testbed, cfg AdmissionConfig) (*Loopback, error) {
 	lb := &Loopback{httpClient: rpc.NewPooledHTTPClient()}
 
-	hostURL, err := lb.serve(HostMux(tb))
+	hostURL, err := lb.serve(HostMux(tb, nil))
 	if err != nil {
 		lb.Close()
 		return nil, err
 	}
-	switchURL, err := lb.serve(SwitchMux(tb))
+	switchURL, err := lb.serve(SwitchMux(tb, nil))
 	if err != nil {
 		lb.Close()
 		return nil, err

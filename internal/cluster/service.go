@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"switchpointer/internal/statesync"
 )
 
 // DiagnoseResponse is the body POST /diagnose answers with. A fully
@@ -26,7 +28,9 @@ type DiagnoseResponse struct {
 //	                 failures map to status codes: queue full → 429,
 //	                 queue wait expired → 503, malformed query → 400.
 //	GET  /stats    — AdmissionStats counters.
-//	GET  /healthz  — liveness ("ok").
+//	GET  /healthz  — statesync.Health JSON. The analyzer holds no telemetry
+//	                 and needs no bootstrap, so it reports state "live" with
+//	                 zero resident/evicted counts.
 //
 // Handlers are safe for concurrent requests; concurrency across diagnoses
 // is exactly what the admission controller bounds.
@@ -74,7 +78,7 @@ func NewAnalyzerHandler(ad *Admission) http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ad.Stats())
 	})
-	addHealthz(mux)
+	mux.Handle("/healthz", statesync.HealthzHandler(nil, nil))
 	return mux
 }
 
@@ -154,9 +158,13 @@ func (c *Client) Stats(ctx context.Context) (AdmissionStats, error) {
 	return stats, json.NewDecoder(httpResp.Body).Decode(&stats)
 }
 
-// WaitReady polls url (a /healthz endpoint) until it answers 200 or the
-// timeout elapses — the readiness gate daemons and scripts use before
-// pointing clients at a freshly started cluster.
+// WaitReady polls url (a /healthz endpoint) until the daemon behind it is
+// ready or the timeout elapses — the readiness gate daemons and scripts use
+// before pointing clients at a freshly started cluster. Ready means an HTTP
+// 200 whose statesync.Health body reports state "live": a bootstrapping
+// daemon answers 200 with state "syncing" while it absorbs its peer's
+// snapshot, and WaitReady keeps polling until the bootstrap lands. A 200
+// with a non-JSON body (a plain health endpoint) counts as live.
 func WaitReady(ctx context.Context, url string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	client := &http.Client{Timeout: time.Second}
@@ -171,11 +179,21 @@ func WaitReady(ctx context.Context, url string, timeout time.Duration) error {
 		}
 		resp, err := client.Do(req)
 		if err == nil {
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
+			switch {
+			case rerr != nil:
+				lastErr = rerr
+			case resp.StatusCode != http.StatusOK:
+				lastErr = fmt.Errorf("status %d", resp.StatusCode)
+			default:
+				var h statesync.Health
+				if jerr := json.Unmarshal(body, &h); jerr == nil && h.State != "" && h.State != statesync.StateLive.String() {
+					lastErr = fmt.Errorf("state %q", h.State)
+				} else {
+					return nil
+				}
 			}
-			lastErr = fmt.Errorf("status %d", resp.StatusCode)
 		} else {
 			lastErr = err
 		}

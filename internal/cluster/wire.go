@@ -97,18 +97,19 @@ type WireReport struct {
 	Alert  *hostagent.Alert `json:"alert,omitempty"`
 	Switch netsim.NodeID    `json:"switch,omitempty"`
 
-	Culprits  []analyzer.Culprit                    `json:"culprits,omitempty"`
-	PerSwitch map[netsim.NodeID][]analyzer.Culprit  `json:"per_switch,omitempty"`
-	Cascade   []netsim.FlowKey                      `json:"cascade,omitempty"`
-	Links     []analyzer.LinkDistribution           `json:"links,omitempty"`
-	Separated bool                                  `json:"separated,omitempty"`
-	Boundary  uint64                                `json:"boundary,omitempty"`
-	Flows     []hostagent.FlowBytes                 `json:"flows,omitempty"`
+	Culprits  []analyzer.Culprit                   `json:"culprits,omitempty"`
+	PerSwitch map[netsim.NodeID][]analyzer.Culprit `json:"per_switch,omitempty"`
+	Cascade   []netsim.FlowKey                     `json:"cascade,omitempty"`
+	Links     []analyzer.LinkDistribution          `json:"links,omitempty"`
+	Separated bool                                 `json:"separated,omitempty"`
+	Boundary  uint64                               `json:"boundary,omitempty"`
+	Flows     []hostagent.FlowBytes                `json:"flows,omitempty"`
 
-	PointerHosts   int            `json:"pointer_hosts"`
-	PrunedHosts    int            `json:"pruned_hosts"`
-	HostsContacted int            `json:"hosts_contacted"`
-	Consulted      []netsim.IPv4  `json:"consulted,omitempty"`
+	PointerHosts   int           `json:"pointer_hosts"`
+	PrunedHosts    int           `json:"pruned_hosts"`
+	HostsContacted int           `json:"hosts_contacted"`
+	Consulted      []netsim.IPv4 `json:"consulted,omitempty"`
+	ColdSegments   int           `json:"cold_segments,omitempty"`
 
 	// Virtual-time cost accounting, flattened from the report's Clock.
 	Phases          []rpc.Phase  `json:"phases,omitempty"`
@@ -138,6 +139,7 @@ func WireFromReport(r *analyzer.Report) *WireReport {
 		PrunedHosts:    r.PrunedHosts,
 		HostsContacted: r.HostsContacted,
 		Consulted:      r.Consulted,
+		ColdSegments:   r.ColdSegments,
 	}
 	if r.Alert.Flow != (netsim.FlowKey{}) || r.Alert.Kind != 0 {
 		alert := r.Alert

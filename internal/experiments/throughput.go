@@ -109,7 +109,7 @@ type delayHosts struct {
 	rtt time.Duration
 }
 
-func (d delayHosts) HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) ([][][]*flowrec.Record, int, error) {
+func (d delayHosts) HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) ([][]hostagent.HeadersAnswer, int, error) {
 	time.Sleep(d.rtt)
 	return d.HostBackend.HeadersRound(ctx, workers, hosts, queries)
 }

@@ -152,6 +152,24 @@ func (r *Record) SortedEpochs() []simtime.Epoch {
 	return out
 }
 
+// Less orders flow keys lexicographically (src, dst, src port, dst port,
+// proto) — the deterministic order every store query answer is merged in.
+func Less(a, b netsim.FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
 // Clone returns a deep copy (used when shipping records across the RPC
 // boundary so callers can't mutate host state).
 func (r *Record) Clone() *Record {

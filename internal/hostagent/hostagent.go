@@ -117,6 +117,9 @@ type Agent struct {
 	lastAlert map[netsim.FlowKey]simtime.Time
 	armed     bool // StartTriggers called
 	trigTimer interface{ Stop() bool }
+
+	// cold is the read-back seam over flushed segments (see SetColdReader).
+	cold store.ColdReader
 }
 
 // New attaches a SwitchPointer agent to a host. The agent immediately starts
@@ -223,19 +226,34 @@ func (a *Agent) checkTriggers() {
 // EnableRetention installs an eviction policy on the agent's store and
 // starts a periodic maintenance sweep (every `every` of virtual time; ≤ 0
 // selects 10 ms — one paper-default epoch). Cold records leave memory
-// through the store's gob flush path into ret.Sink; see store.Retention.
-// The sweep timer is weak, so an otherwise-idle simulation still drains.
+// through the store's gob flush path into ret.Sink and/or ret.Cold; see
+// store.Retention. When ret.Cold also implements store.ColdReader (as
+// statesync.SegmentLog does), it is installed as the agent's read-back seam,
+// so epoch-windowed queries reaching past the hot window transparently
+// consult the flushed segments. The sweep timer is weak, so an
+// otherwise-idle simulation still drains.
 func (a *Agent) EnableRetention(ret store.Retention, every simtime.Time) {
 	if every <= 0 {
 		every = 10 * simtime.Millisecond
 	}
 	a.Store.SetRetention(ret)
+	if rd, ok := ret.Cold.(store.ColdReader); ok {
+		a.SetColdReader(rd)
+	}
 	a.net.Engine.EveryWeak(every, func() {
 		if _, err := a.Store.Maintain(a.net.Now()); err != nil && a.OnEvictError != nil {
 			a.OnEvictError(err)
 		}
 	})
 }
+
+// SetColdReader installs (nil removes) the cold read-back seam QueryHeaders
+// consults for epoch windows that have aged out of the resident set. Set it
+// before serving queries.
+func (a *Agent) SetColdReader(rd store.ColdReader) { a.cold = rd }
+
+// ColdReader returns the installed read-back seam (nil when none).
+func (a *Agent) ColdReader() store.ColdReader { return a.cold }
 
 // InjectTimeout raises a TCP-timeout alert for a flow (the destination-side
 // stack noticing an RTO-scale silence; transports call this from scenario
@@ -286,21 +304,124 @@ type HeadersQuery struct {
 	Epochs simtime.EpochRange
 }
 
+// HeadersAnswer is one host's reply to a HeadersQuery: the matching records
+// plus the cold read-back accounting the analyzer needs to charge honestly.
+// ColdSegments counts flushed segments this query had to decode (0 when the
+// whole window was answered from the hot resident set); ColdRecords counts
+// the records decoded from them (the scan cost of the extra round, not just
+// the matches).
+type HeadersAnswer struct {
+	Records      []*flowrec.Record
+	ColdSegments int
+	ColdRecords  int
+}
+
 // QueryHeaders returns (clones of) records matching the query: the
 // "filter headers for packets that match a (switchID, epochID) pair"
 // primitive that SwitchPointer's whole debugging flow builds on.
-func (a *Agent) QueryHeaders(ctx context.Context, q HeadersQuery) []*flowrec.Record {
-	if ctx.Err() != nil {
-		return nil
+//
+// When a ColdReader is installed (retention with an indexed flush path —
+// see EnableRetention), the query transparently consults flushed segments
+// whose manifests overlap the requested epoch window, so a diagnosis
+// reaching past the hot window still succeeds; segments whose manifests
+// don't overlap are skipped without decoding. The answer's cold counters
+// report what that cost, and the analyzer charges one extra virtual-time
+// round for it. With no cold reader — or a window answered entirely hot —
+// the answer is byte-identical to the pre-read-back behaviour.
+func (a *Agent) QueryHeaders(ctx context.Context, q HeadersQuery) HeadersAnswer {
+	return a.QueryHeadersMulti(ctx, []HeadersQuery{q})[0]
+}
+
+// QueryHeadersMulti answers several header queries in one pass — the
+// per-round primitive: a contention alert carries one HeadersQuery per
+// alert tuple, and answering them together decodes each overlapping cold
+// segment ONCE instead of once per tuple. Every answer — records, order,
+// and cold accounting (each query is charged as if it had scanned the
+// segments itself: the virtual-time cost contract is per query even though
+// the physical decode is shared) — is byte-identical to calling
+// QueryHeaders per query.
+func (a *Agent) QueryHeadersMulti(ctx context.Context, qs []HeadersQuery) []HeadersAnswer {
+	out := make([]HeadersAnswer, len(qs))
+	if ctx.Err() != nil || len(qs) == 0 {
+		return out
 	}
-	var out []*flowrec.Record
-	a.Store.QueryBySwitch(q.Switch, func(rec *flowrec.Record) bool {
-		er, ok := rec.EpochsAt(q.Switch)
-		if ok && er.Overlaps(q.Epochs) {
-			out = append(out, rec.Clone())
+	for qi := range qs {
+		q := qs[qi]
+		a.Store.QueryBySwitch(q.Switch, func(rec *flowrec.Record) bool {
+			er, ok := rec.EpochsAt(q.Switch)
+			if ok && er.Overlaps(q.Epochs) {
+				out[qi].Records = append(out[qi].Records, rec.Clone())
+			}
+			return true
+		})
+	}
+	if a.cold == nil {
+		return out
+	}
+
+	// Cold read-back: decode only segments whose manifest epoch range
+	// overlaps some query's window, keep records matching that query's
+	// (switch, epochs) that are not already answered hot. Later segments
+	// win for a flow evicted more than once (eviction order is write
+	// order).
+	hot := make([]map[netsim.FlowKey]bool, len(qs))
+	recovered := make([]map[netsim.FlowKey]*flowrec.Record, len(qs))
+	for qi := range qs {
+		hot[qi] = make(map[netsim.FlowKey]bool, len(out[qi].Records))
+		for _, r := range out[qi].Records {
+			hot[qi][r.Flow] = true
 		}
-		return true
-	})
+		recovered[qi] = make(map[netsim.FlowKey]*flowrec.Record)
+	}
+	var interested []int
+	var recs []*flowrec.Record
+	for i, m := range a.cold.Manifests() {
+		interested = interested[:0]
+		for qi := range qs {
+			if m.Epochs.Overlaps(qs[qi].Epochs) {
+				interested = append(interested, qi)
+			}
+		}
+		if len(interested) == 0 {
+			continue
+		}
+		recs = recs[:0]
+		err := a.cold.ReadSegment(i, func(rec *flowrec.Record) { recs = append(recs, rec) })
+		if err != nil {
+			if a.OnEvictError != nil {
+				a.OnEvictError(fmt.Errorf("hostagent: cold read-back: %w", err))
+			}
+			continue
+		}
+		for _, qi := range interested {
+			q := qs[qi]
+			out[qi].ColdSegments++
+			out[qi].ColdRecords += len(recs)
+			for _, rec := range recs {
+				if hot[qi][rec.Flow] {
+					continue
+				}
+				er, ok := rec.EpochsAt(q.Switch)
+				if ok && er.Overlaps(q.Epochs) {
+					recovered[qi][rec.Flow] = rec
+				}
+			}
+		}
+	}
+	for qi := range qs {
+		if len(recovered[qi]) == 0 {
+			continue
+		}
+		for _, rec := range recovered[qi] {
+			out[qi].Records = append(out[qi].Records, rec)
+		}
+		// Keep each merged answer in the store's deterministic flow-key
+		// order so reports are byte-identical to a run whose window was
+		// never evicted.
+		sort.Slice(out[qi].Records, func(i, j int) bool {
+			return flowrec.Less(out[qi].Records[i].Flow, out[qi].Records[j].Flow)
+		})
+	}
 	return out
 }
 

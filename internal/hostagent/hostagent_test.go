@@ -173,16 +173,16 @@ func TestQueryHeaders(t *testing.T) {
 	ag := agents[dst.IP()]
 	s2, _ := tp.SwitchByName("S2")
 
-	recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: s2.NodeID(), Epochs: simtime.EpochRange{Lo: 0, Hi: 5}})
+	recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: s2.NodeID(), Epochs: simtime.EpochRange{Lo: 0, Hi: 5}}).Records
 	if len(recs) != 1 || recs[0].Flow != flow {
 		t.Fatalf("QueryHeaders = %v", recs)
 	}
 	// Epoch window far in the future matches nothing.
-	if recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: s2.NodeID(), Epochs: simtime.EpochRange{Lo: 1000, Hi: 2000}}); len(recs) != 0 {
+	if recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: s2.NodeID(), Epochs: simtime.EpochRange{Lo: 1000, Hi: 2000}}).Records; len(recs) != 0 {
 		t.Fatalf("future epochs should match nothing")
 	}
 	// Unknown switch matches nothing.
-	if recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: 999, Epochs: simtime.EpochRange{Lo: 0, Hi: 5}}); len(recs) != 0 {
+	if recs := ag.QueryHeaders(context.Background(), HeadersQuery{Switch: 999, Epochs: simtime.EpochRange{Lo: 0, Hi: 5}}).Records; len(recs) != 0 {
 		t.Fatalf("unknown switch should match nothing")
 	}
 }

@@ -22,6 +22,8 @@
 package pointer
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"switchpointer/internal/bitset"
@@ -350,6 +352,153 @@ func (s *Structure) RecyclingPeriod(h int) simtime.Time {
 	}
 	// (α−1) slots of α^(h−1) epochs each elapse before reuse.
 	return simtime.Time(int64(s.alpha-1)*s.spanEpochs[h-1]) * s.cfg.Alpha
+}
+
+// slotSnap is one slot's gob wire form (bits packed via MarshalBinary).
+type slotSnap struct {
+	Epochs simtime.EpochRange
+	Bits   []byte
+	Sealed bool
+	Used   bool
+}
+
+// structSnap is the Structure's gob wire form — the state-sync snapshot a
+// replica switch agent restores so its pointer pulls answer byte-identically
+// to the source's.
+type structSnap struct {
+	Alpha    simtime.Time
+	K        int
+	NumHosts int
+
+	Epoch       simtime.Epoch
+	Started     bool
+	Touches     uint64
+	Pushes      uint64
+	PushedBytes uint64
+	Cur         []int
+	Levels      [][]slotSnap
+}
+
+// Snapshot serializes the structure's complete live state: every slot of
+// every level (window, bitmap, sealed/used flags), the ring positions, the
+// current epoch, and the touch/push accounting.
+func (s *Structure) Snapshot() ([]byte, error) {
+	snap := structSnap{
+		Alpha:       s.cfg.Alpha,
+		K:           s.cfg.K,
+		NumHosts:    s.cfg.NumHosts,
+		Epoch:       s.epoch,
+		Started:     s.started,
+		Touches:     s.touches,
+		Pushes:      s.pushes,
+		PushedBytes: s.pushedBytes,
+		Cur:         append([]int(nil), s.cur...),
+	}
+	snap.Levels = make([][]slotSnap, len(s.levels))
+	for h, ring := range s.levels {
+		snap.Levels[h] = make([]slotSnap, len(ring))
+		for i, slot := range ring {
+			bits, err := slot.Bits.MarshalBinary()
+			if err != nil {
+				return nil, fmt.Errorf("pointer: snapshot: %w", err)
+			}
+			snap.Levels[h][i] = slotSnap{Epochs: slot.Epochs, Bits: bits, Sealed: slot.Sealed, Used: slot.used}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return nil, fmt.Errorf("pointer: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the structure's live state with a Snapshot taken from a
+// structure of identical geometry (same Alpha, K, NumHosts); a geometry
+// mismatch is rejected, since slot windows and bitmap widths would not line
+// up. Epoch monotonicity continues from the restored epoch.
+func (s *Structure) Restore(b []byte) error {
+	var snap structSnap
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
+		return fmt.Errorf("pointer: restore: %w", err)
+	}
+	if snap.Alpha != s.cfg.Alpha || snap.K != s.cfg.K || snap.NumHosts != s.cfg.NumHosts {
+		return fmt.Errorf("pointer: restore: geometry mismatch (snapshot α=%v k=%d n=%d, structure α=%v k=%d n=%d)",
+			snap.Alpha, snap.K, snap.NumHosts, s.cfg.Alpha, s.cfg.K, s.cfg.NumHosts)
+	}
+	if len(snap.Levels) != len(s.levels) || len(snap.Cur) != len(s.cur) {
+		return fmt.Errorf("pointer: restore: malformed snapshot (%d levels)", len(snap.Levels))
+	}
+	for h, ring := range s.levels {
+		if len(snap.Levels[h]) != len(ring) {
+			return fmt.Errorf("pointer: restore: level %d has %d slots, want %d", h+1, len(snap.Levels[h]), len(ring))
+		}
+		if snap.Cur[h] < 0 || snap.Cur[h] >= len(ring) {
+			return fmt.Errorf("pointer: restore: level %d ring position %d out of range", h+1, snap.Cur[h])
+		}
+	}
+	for h, ring := range s.levels {
+		for i, slot := range ring {
+			ss := snap.Levels[h][i]
+			if err := slot.Bits.UnmarshalBinary(ss.Bits); err != nil {
+				return fmt.Errorf("pointer: restore: level %d slot %d: %w", h+1, i, err)
+			}
+			slot.Epochs = ss.Epochs
+			slot.Sealed = ss.Sealed
+			slot.used = ss.Used
+		}
+	}
+	copy(s.cur, snap.Cur)
+	s.epoch = snap.Epoch
+	s.started = snap.Started
+	s.touches = snap.Touches
+	s.pushes = snap.Pushes
+	s.pushedBytes = snap.PushedBytes
+	return nil
+}
+
+// slotWire is one exported Slot's gob wire form (EncodeSlots/DecodeSlots):
+// the control-store history a state-sync snapshot carries next to the live
+// structure.
+type slotWire struct {
+	Level  int
+	Epochs simtime.EpochRange
+	Bits   []byte
+	Sealed bool
+}
+
+// EncodeSlots serializes a slot list (typically a switch agent's control
+// store — the pushed top-level history) for the state-sync wire.
+func EncodeSlots(slots []Slot) ([]byte, error) {
+	wire := make([]slotWire, len(slots))
+	for i, s := range slots {
+		bits, err := s.Bits.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("pointer: encode slots: %w", err)
+		}
+		wire[i] = slotWire{Level: s.Level, Epochs: s.Epochs, Bits: bits, Sealed: s.Sealed}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("pointer: encode slots: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSlots restores a slot list written by EncodeSlots.
+func DecodeSlots(b []byte) ([]Slot, error) {
+	var wire []slotWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("pointer: decode slots: %w", err)
+	}
+	slots := make([]Slot, len(wire))
+	for i, w := range wire {
+		var bits bitset.Set
+		if err := bits.UnmarshalBinary(w.Bits); err != nil {
+			return nil, fmt.Errorf("pointer: decode slots: %w", err)
+		}
+		slots[i] = Slot{Level: w.Level, Epochs: w.Epochs, Bits: &bits, Sealed: w.Sealed}
+	}
+	return slots, nil
 }
 
 // TheoreticalMemoryBits returns the paper's closed-form memory formula

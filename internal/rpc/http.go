@@ -34,6 +34,31 @@ type HeadersRequest struct {
 	EpochHi simtime.Epoch `json:"epoch_hi"`
 }
 
+// HeadersResponse answers a HeadersRequest: the matching records plus the
+// host's cold read-back accounting (flushed segments decoded / records
+// scanned past the hot window — zero when the window was answered entirely
+// from the resident set).
+type HeadersResponse struct {
+	Records      []*flowrec.Record `json:"records"`
+	ColdSegments int               `json:"cold_segments,omitempty"`
+	ColdRecords  int               `json:"cold_records,omitempty"`
+}
+
+// HeadersBatchRequest asks a host to answer several header queries in one
+// request — the per-round form: a contention alert carries one query per
+// alert tuple, and batching them means one HTTP round trip per host per
+// round and one cold-segment decode pass (hostagent.QueryHeadersMulti)
+// instead of one per tuple.
+type HeadersBatchRequest struct {
+	Queries []HeadersRequest `json:"queries"`
+}
+
+// HeadersBatchResponse answers a HeadersBatchRequest, one answer per query
+// in order.
+type HeadersBatchResponse struct {
+	Answers []HeadersResponse `json:"answers"`
+}
+
 // TopKRequest asks a host for its top-k flows through a switch.
 type TopKRequest struct {
 	Switch netsim.NodeID `json:"switch"`
@@ -80,6 +105,49 @@ type MPHRequest struct {
 	TableB64 string `json:"table_b64"`
 }
 
+// SwitchSnapshotResponse is the switch half of a state-sync snapshot
+// (GET /snapshot on a switch handler): the live pointer structure, the
+// pushed control-store history, and the installed MPH, each in its own
+// binary encoding. A bootstrapping daemon pulls one from its peer and
+// applies it to a local agent of identical geometry so subsequent pointer
+// pulls answer byte-identically to the source's.
+type SwitchSnapshotResponse struct {
+	PointerB64 string `json:"pointer_b64"`
+	ControlB64 string `json:"control_b64"`
+	MPHB64     string `json:"mph_b64,omitempty"`
+}
+
+// Apply restores the snapshot into a local switch agent: pointer structure,
+// control store, and (when the snapshot carries one) the MPH.
+func (sr *SwitchSnapshotResponse) Apply(a *switchagent.Agent) error {
+	ptr, err := base64.StdEncoding.DecodeString(sr.PointerB64)
+	if err != nil {
+		return fmt.Errorf("rpc: switch snapshot: %w", err)
+	}
+	if err := a.RestorePointerSnapshot(ptr); err != nil {
+		return err
+	}
+	ctrl, err := base64.StdEncoding.DecodeString(sr.ControlB64)
+	if err != nil {
+		return fmt.Errorf("rpc: switch snapshot: %w", err)
+	}
+	if err := a.RestoreControlStoreSnapshot(ctrl); err != nil {
+		return err
+	}
+	if sr.MPHB64 != "" {
+		raw, err := base64.StdEncoding.DecodeString(sr.MPHB64)
+		if err != nil {
+			return fmt.Errorf("rpc: switch snapshot: %w", err)
+		}
+		var table mph.Table
+		if err := table.UnmarshalBinary(raw); err != nil {
+			return err
+		}
+		a.InstallMPH(&table)
+	}
+	return nil
+}
+
 // PointersResponse carries the pointer bitmap and how it was satisfied.
 type PointersResponse struct {
 	HostsB64 string `json:"hosts_b64"`
@@ -110,11 +178,38 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		recs := a.QueryHeaders(r.Context(), hostagent.HeadersQuery{
+		ans := a.QueryHeaders(r.Context(), hostagent.HeadersQuery{
 			Switch: req.Switch,
 			Epochs: simtime.EpochRange{Lo: req.EpochLo, Hi: req.EpochHi},
 		})
-		writeJSON(w, recs)
+		writeJSON(w, HeadersResponse{
+			Records:      ans.Records,
+			ColdSegments: ans.ColdSegments,
+			ColdRecords:  ans.ColdRecords,
+		})
+	})
+	mux.HandleFunc("/headers-batch", func(w http.ResponseWriter, r *http.Request) {
+		var req HeadersBatchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		qs := make([]hostagent.HeadersQuery, len(req.Queries))
+		for i, q := range req.Queries {
+			qs[i] = hostagent.HeadersQuery{
+				Switch: q.Switch,
+				Epochs: simtime.EpochRange{Lo: q.EpochLo, Hi: q.EpochHi},
+			}
+		}
+		answers := a.QueryHeadersMulti(r.Context(), qs)
+		resp := HeadersBatchResponse{Answers: make([]HeadersResponse, len(answers))}
+		for i, ans := range answers {
+			resp.Answers[i] = HeadersResponse{
+				Records:      ans.Records,
+				ColdSegments: ans.ColdSegments,
+				ColdRecords:  ans.ColdRecords,
+			}
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
 		var req TopKRequest
@@ -199,6 +294,35 @@ func NewSwitchHandler(a *switchagent.Agent) http.Handler {
 		a.InstallMPH(&table)
 		mu.Unlock()
 		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		mu.Lock()
+		ptr, err := a.PointerSnapshot()
+		var ctrl []byte
+		if err == nil {
+			ctrl, err = a.ControlStoreSnapshot()
+		}
+		var mphRaw []byte
+		if err == nil && a.MPH() != nil {
+			mphRaw, err = a.MPH().MarshalBinary()
+		}
+		mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := SwitchSnapshotResponse{
+			PointerB64: base64.StdEncoding.EncodeToString(ptr),
+			ControlB64: base64.StdEncoding.EncodeToString(ctrl),
+		}
+		if mphRaw != nil {
+			resp.MPHB64 = base64.StdEncoding.EncodeToString(mphRaw)
+		}
+		writeJSON(w, resp)
 	})
 	return mux
 }
@@ -318,11 +442,83 @@ func (c *HTTPClient) post(ctx context.Context, url string, req, resp any) error 
 	return nil
 }
 
-// QueryHeaders fetches matching records from a host agent at baseURL.
-func (c *HTTPClient) QueryHeaders(ctx context.Context, baseURL string, sw netsim.NodeID, epochs simtime.EpochRange) ([]*flowrec.Record, error) {
-	var out []*flowrec.Record
-	err := c.post(ctx, baseURL+"/headers", HeadersRequest{Switch: sw, EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out)
+// get issues a GET and decodes the JSON answer, under the same per-host
+// timeout discipline as post.
+func (c *HTTPClient) get(ctx context.Context, url string, resp any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.PerHostTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.PerHostTimeout)
+		defer cancel()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return fmt.Errorf("rpc: request %s: %w", url, err)
+	}
+	httpResp, err := c.HTTP.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("rpc: get %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return fmt.Errorf("rpc: %s: status %d: %s", url, httpResp.StatusCode, msg)
+	}
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("rpc: read %s: %w", url, err)
+	}
+	if err := json.Unmarshal(raw, resp); err != nil {
+		return fmt.Errorf("rpc: decode %s: %w", url, err)
+	}
+	return nil
+}
+
+// SwitchSnapshot pulls the state-sync snapshot of the switch agent at
+// baseURL (GET /snapshot). Apply it to a local agent with Apply.
+func (c *HTTPClient) SwitchSnapshot(ctx context.Context, baseURL string) (SwitchSnapshotResponse, error) {
+	var out SwitchSnapshotResponse
+	err := c.get(ctx, baseURL+"/snapshot", &out)
 	return out, err
+}
+
+// QueryHeaders fetches matching records (and the host's cold read-back
+// accounting) from a host agent at baseURL.
+func (c *HTTPClient) QueryHeaders(ctx context.Context, baseURL string, sw netsim.NodeID, epochs simtime.EpochRange) (hostagent.HeadersAnswer, error) {
+	var out HeadersResponse
+	err := c.post(ctx, baseURL+"/headers", HeadersRequest{Switch: sw, EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out)
+	return hostagent.HeadersAnswer{
+		Records:      out.Records,
+		ColdSegments: out.ColdSegments,
+		ColdRecords:  out.ColdRecords,
+	}, err
+}
+
+// QueryHeadersBatch answers several header queries against one host in a
+// single request (POST /headers-batch), one answer per query in order.
+func (c *HTTPClient) QueryHeadersBatch(ctx context.Context, baseURL string, qs []hostagent.HeadersQuery) ([]hostagent.HeadersAnswer, error) {
+	req := HeadersBatchRequest{Queries: make([]HeadersRequest, len(qs))}
+	for i, q := range qs {
+		req.Queries[i] = HeadersRequest{Switch: q.Switch, EpochLo: q.Epochs.Lo, EpochHi: q.Epochs.Hi}
+	}
+	var out HeadersBatchResponse
+	if err := c.post(ctx, baseURL+"/headers-batch", req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Answers) != len(qs) {
+		return nil, fmt.Errorf("rpc: headers batch answered %d of %d queries", len(out.Answers), len(qs))
+	}
+	answers := make([]hostagent.HeadersAnswer, len(out.Answers))
+	for i, ans := range out.Answers {
+		answers[i] = hostagent.HeadersAnswer{
+			Records:      ans.Records,
+			ColdSegments: ans.ColdSegments,
+			ColdRecords:  ans.ColdRecords,
+		}
+	}
+	return answers, nil
 }
 
 // QueryTopK fetches a host's top-k flows through a switch.

@@ -168,10 +168,11 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("pointer pull: covered=%v bits=%v", resp.Covered, bits.Indices())
 	}
 	// Headers query over the wire.
-	recs, err := client.QueryHeaders(context.Background(), hostSrv.URL, s1.NodeID(), simtime.EpochRange{Lo: 0, Hi: 2})
+	ans, err := client.QueryHeaders(context.Background(), hostSrv.URL, s1.NodeID(), simtime.EpochRange{Lo: 0, Hi: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
+	recs := ans.Records
 	if len(recs) != 1 || recs[0].Flow != flow || recs[0].Priority != 2 {
 		t.Fatalf("headers = %+v", recs)
 	}

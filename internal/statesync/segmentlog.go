@@ -1,0 +1,180 @@
+package statesync
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"switchpointer/internal/flowrec"
+	"switchpointer/internal/store"
+)
+
+// SegmentLog is the standard indexed flush sink behind store.Retention: it
+// implements both halves of the cold-storage seam — store.ColdStore (the
+// eviction sweep appends segments with their manifests) and
+// store.ColdReader (epoch-windowed queries read evicted telemetry back).
+//
+// Two modes:
+//
+//   - In-memory (dir == ""): segments live in process memory. The mode
+//     tests and short-lived daemons use.
+//   - Directory-backed: each segment persists as seg-NNNNNN.gob next to
+//     manifest.jsonl, one JSON line per segment in eviction order — the
+//     tiny index that lets read-back skip irrelevant segments without
+//     decoding them, and that survives a daemon restart (reopening the
+//     same directory resumes the log). The manifest is append-only, so a
+//     long-running daemon pays O(1) index I/O per eviction sweep, not a
+//     full rewrite.
+//
+// All methods are safe for concurrent use: eviction sweeps append while
+// queries read.
+type SegmentLog struct {
+	mu   sync.RWMutex
+	dir  string
+	segs []logSegment
+}
+
+type logSegment struct {
+	Manifest store.SegmentManifest `json:"manifest"`
+	payload  []byte                // in-memory mode only
+}
+
+var (
+	_ store.ColdStore  = (*SegmentLog)(nil)
+	_ store.ColdReader = (*SegmentLog)(nil)
+)
+
+// NewSegmentLog opens a segment log. An empty dir selects the in-memory
+// mode; otherwise dir is created if needed and an existing manifest.jsonl
+// resumes the persisted log.
+func NewSegmentLog(dir string) (*SegmentLog, error) {
+	l := &SegmentLog{dir: dir}
+	if dir == "" {
+		return l, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("statesync: segment log: %w", err)
+	}
+	raw, err := os.ReadFile(l.manifestPath())
+	if os.IsNotExist(err) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("statesync: segment log: %w", err)
+	}
+	for i, line := range bytes.Split(raw, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var m store.SegmentManifest
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, fmt.Errorf("statesync: segment log manifest line %d: %w", i+1, err)
+		}
+		idx := len(l.segs)
+		if _, err := os.Stat(l.segmentPath(idx)); err != nil {
+			return nil, fmt.Errorf("statesync: segment log: manifest names missing segment %d: %w", idx, err)
+		}
+		l.segs = append(l.segs, logSegment{Manifest: m})
+	}
+	return l, nil
+}
+
+// Dir returns the backing directory ("" for the in-memory mode).
+func (l *SegmentLog) Dir() string { return l.dir }
+
+func (l *SegmentLog) manifestPath() string { return filepath.Join(l.dir, "manifest.jsonl") }
+
+func (l *SegmentLog) segmentPath(i int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("seg-%06d.gob", i))
+}
+
+// WriteSegment implements store.ColdStore: it appends one encoded segment
+// and persists its manifest. In directory mode the segment file lands
+// before its manifest line is appended, so a crash between the two leaves
+// a recoverable log (the orphan file is simply not indexed).
+func (l *SegmentLog) WriteSegment(m store.SegmentManifest, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := len(l.segs)
+	seg := logSegment{Manifest: m}
+	if l.dir == "" {
+		seg.payload = payload
+	} else {
+		if err := os.WriteFile(l.segmentPath(i), payload, 0o644); err != nil {
+			return fmt.Errorf("statesync: write segment %d: %w", i, err)
+		}
+		if err := l.appendManifestLocked(m); err != nil {
+			return err
+		}
+	}
+	l.segs = append(l.segs, seg)
+	return nil
+}
+
+// appendManifestLocked appends one manifest line — O(1) per eviction sweep
+// regardless of log length.
+func (l *SegmentLog) appendManifestLocked(m store.SegmentManifest) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(l.manifestPath(), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("statesync: append manifest: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("statesync: append manifest: %w", err)
+	}
+	return nil
+}
+
+// Manifests implements store.ColdReader: every segment's manifest in
+// eviction (write) order.
+func (l *SegmentLog) Manifests() []store.SegmentManifest {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]store.SegmentManifest, len(l.segs))
+	for i, s := range l.segs {
+		out[i] = s.Manifest
+	}
+	return out
+}
+
+// Len returns the number of stored segments.
+func (l *SegmentLog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.segs)
+}
+
+// ReadSegment implements store.ColdReader: it decodes segment i and hands
+// each record to fn. The records are fresh decodes owned by the caller.
+func (l *SegmentLog) ReadSegment(i int, fn func(*flowrec.Record)) error {
+	l.mu.RLock()
+	if i < 0 || i >= len(l.segs) {
+		l.mu.RUnlock()
+		return fmt.Errorf("statesync: segment %d out of range", i)
+	}
+	payload := l.segs[i].payload
+	l.mu.RUnlock()
+	if payload == nil {
+		raw, err := os.ReadFile(l.segmentPath(i))
+		if err != nil {
+			return fmt.Errorf("statesync: read segment %d: %w", i, err)
+		}
+		payload = raw
+	}
+	recs, err := store.DecodeSegment(bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("statesync: segment %d: %w", i, err)
+	}
+	for _, r := range recs {
+		fn(r)
+	}
+	return nil
+}

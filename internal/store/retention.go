@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -36,6 +37,44 @@ type Retention struct {
 	// per Maintain call that evicted anything; a segment decodes with the
 	// same schema Flush writes and Load reads). Nil drops evictions.
 	Sink io.Writer
+	// Cold, when set, receives the same segments together with a
+	// SegmentManifest each — the indexed flush path that makes cold
+	// read-back possible (statesync.SegmentLog is the standard
+	// implementation). Sink and Cold may be set independently; evictions go
+	// to both.
+	Cold ColdStore
+}
+
+// SegmentManifest is the tiny per-segment index persisted alongside every
+// evicted segment: enough for a cold read-back to decide whether a segment
+// can possibly answer an epoch-windowed query WITHOUT decoding it.
+type SegmentManifest struct {
+	// Epochs is the union of the evicted records' per-switch epoch ranges —
+	// a segment whose Epochs does not overlap a query window holds no
+	// matching record.
+	Epochs simtime.EpochRange `json:"epochs"`
+	// Flows is the number of records in the segment.
+	Flows int `json:"flows"`
+	// Bytes is the encoded segment size.
+	Bytes int `json:"bytes"`
+}
+
+// ColdStore is the write half of the indexed eviction path: it persists one
+// encoded segment together with its manifest. WriteSegment owns payload
+// after the call returns.
+type ColdStore interface {
+	WriteSegment(m SegmentManifest, payload []byte) error
+}
+
+// ColdReader is the read-back seam over flushed segments: host agents
+// consult it when a query's epoch window reaches past the hot window.
+// Manifests returns every stored segment's manifest in write (eviction)
+// order; ReadSegment decodes segment i and calls fn for each of its records
+// (the records are owned by the caller). Implementations must be safe for
+// concurrent use with WriteSegment and with each other.
+type ColdReader interface {
+	Manifests() []SegmentManifest
+	ReadSegment(i int, fn func(*flowrec.Record)) error
 }
 
 // retention is the store-side policy state; maintMu serializes Maintain
@@ -146,7 +185,7 @@ func (st *RecordStore) Maintain(now simtime.Time) (int, error) {
 	}
 	st.ret.evicted += uint64(len(victims))
 
-	if cfg.Sink == nil {
+	if cfg.Sink == nil && cfg.Cold == nil {
 		return len(victims), nil
 	}
 	// Flush through the gob path in deterministic cold-first order. The
@@ -159,10 +198,48 @@ func (st *RecordStore) Maintain(now simtime.Time) (int, error) {
 		}
 		return flowLess(victims[i].Flow, victims[j].Flow)
 	})
-	if err := gob.NewEncoder(cfg.Sink).Encode(&snapshot{Records: victims}); err != nil {
-		return len(victims), fmt.Errorf("store: eviction flush: %w", err)
+	if cfg.Sink != nil {
+		if err := gob.NewEncoder(cfg.Sink).Encode(&snapshot{Records: victims}); err != nil {
+			return len(victims), fmt.Errorf("store: eviction flush: %w", err)
+		}
+	}
+	if cfg.Cold != nil {
+		var buf bytes.Buffer
+		if err := EncodeSegment(&buf, victims); err != nil {
+			return len(victims), err
+		}
+		m := manifestOf(victims)
+		m.Bytes = buf.Len()
+		if err := cfg.Cold.WriteSegment(m, buf.Bytes()); err != nil {
+			return len(victims), fmt.Errorf("store: eviction segment: %w", err)
+		}
 	}
 	return len(victims), nil
+}
+
+// manifestOf indexes one eviction segment: the union of the victims'
+// per-switch epoch ranges (and their exact-epoch accounting, so untagged
+// flows stay addressable) plus the record count.
+func manifestOf(victims []*flowrec.Record) SegmentManifest {
+	m := SegmentManifest{Flows: len(victims)}
+	first := true
+	widen := func(er simtime.EpochRange) {
+		if first {
+			m.Epochs = er
+			first = false
+			return
+		}
+		m.Epochs = m.Epochs.Union(er)
+	}
+	for _, r := range victims {
+		for _, er := range r.Epochs {
+			widen(er)
+		}
+		for e := range r.EpochBytes {
+			widen(simtime.EpochRange{Lo: e, Hi: e})
+		}
+	}
+	return m
 }
 
 // removeLocked evicts one record from its (write-locked) shard: the record

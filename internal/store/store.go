@@ -17,6 +17,7 @@ import (
 
 	"switchpointer/internal/flowrec"
 	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
 )
 
 // numShards is the shard count: a power of two so the flow-key hash maps to
@@ -199,6 +200,49 @@ func (st *RecordStore) Release(r *flowrec.Record) {
 	sh.mu.Unlock()
 }
 
+// Put installs (or wholesale replaces) a record under its shard's write
+// lock and reindexes it — the state-sync ingestion primitive: snapshot
+// bootstrap and live ingest feeds install records that were absorbed
+// elsewhere, so there is no local record to Acquire and mutate. The store
+// takes ownership of rec; callers must pass a clone when they keep using
+// the record.
+//
+// Replacement is recency-guarded: a record strictly older than the
+// resident one (by LastSeen, then Pkts) is dropped, so the freshest
+// version wins regardless of arrival order — a snapshot segment cloned
+// before an ingest update can race the feed and land after it without
+// clobbering the newer state. Equal-recency Puts replace, keeping
+// idempotent re-feeds honest. It reports whether rec was installed.
+func (st *RecordStore) Put(rec *flowrec.Record) bool {
+	sh := st.shardOf(rec.Flow)
+	sh.mu.Lock()
+	prev, replaced := sh.recs[rec.Flow]
+	if replaced && (prev.LastSeen > rec.LastSeen ||
+		(prev.LastSeen == rec.LastSeen && prev.Pkts > rec.Pkts)) {
+		sh.mu.Unlock()
+		return false
+	}
+	if replaced {
+		// Wholesale replacement: the memoized per-switch answers hold the
+		// OLD record pointer, so every switch the flow touches — old path
+		// and new — must be invalidated even when the path is unchanged
+		// (reindexLocked early-returns in that case and would leave stale
+		// memos serving the superseded record).
+		for _, sw := range sh.indexed[rec.Flow] {
+			st.invalidate(sh, sw)
+		}
+	}
+	sh.recs[rec.Flow] = rec
+	st.reindexLocked(sh, rec)
+	if replaced {
+		for _, sw := range rec.Path {
+			st.invalidate(sh, sw)
+		}
+	}
+	sh.mu.Unlock()
+	return true
+}
+
 // Reindex must be called after a record's path may have changed so the
 // switch index stays consistent. Switches the record no longer traverses are
 // removed from the index (a rerouted flow must stop answering queries for
@@ -368,21 +412,7 @@ func (st *RecordStore) All() []*flowrec.Record {
 	return out
 }
 
-func flowLess(a, b netsim.FlowKey) bool {
-	if a.Src != b.Src {
-		return a.Src < b.Src
-	}
-	if a.Dst != b.Dst {
-		return a.Dst < b.Dst
-	}
-	if a.SrcPort != b.SrcPort {
-		return a.SrcPort < b.SrcPort
-	}
-	if a.DstPort != b.DstPort {
-		return a.DstPort < b.DstPort
-	}
-	return a.Proto < b.Proto
-}
+func flowLess(a, b netsim.FlowKey) bool { return flowrec.Less(a, b) }
 
 func sortRecords(rs []*flowrec.Record) {
 	sort.Slice(rs, func(i, j int) bool { return flowLess(rs[i].Flow, rs[j].Flow) })
@@ -391,6 +421,77 @@ func sortRecords(rs []*flowrec.Record) {
 // snapshot is the gob wire form.
 type snapshot struct {
 	Records []*flowrec.Record
+}
+
+// EncodeSegment writes one self-contained gob segment holding the given
+// records — the schema Flush writes, Load reads, and DecodeSegment decodes.
+// Every segment carries its own type information (fresh encoder), so
+// segments are independently decodable in any order.
+func EncodeSegment(w io.Writer, recs []*flowrec.Record) error {
+	if err := gob.NewEncoder(w).Encode(&snapshot{Records: recs}); err != nil {
+		return fmt.Errorf("store: encode segment: %w", err)
+	}
+	return nil
+}
+
+// DecodeSegment decodes one segment written by EncodeSegment (or Flush, or a
+// retention eviction) back into records.
+func DecodeSegment(r io.Reader) ([]*flowrec.Record, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode segment: %w", err)
+	}
+	return snap.Records, nil
+}
+
+// MatchesEpochs reports whether a record is addressed by the given epoch
+// window: any of its per-switch epoch ranges overlaps it. The full range
+// (EverySegment) matches records with no telemetry epochs too.
+func MatchesEpochs(rec *flowrec.Record, epochs simtime.EpochRange) bool {
+	if epochs == EveryEpoch {
+		return true
+	}
+	for _, er := range rec.Epochs {
+		if er.Overlaps(epochs) {
+			return true
+		}
+	}
+	return false
+}
+
+// EveryEpoch is the epoch window that addresses all records — what a
+// snapshot pull without an explicit window uses.
+var EveryEpoch = simtime.EpochRange{Lo: simtime.Epoch(-1 << 62), Hi: simtime.Epoch(1 << 62)}
+
+// SnapshotShards calls fn once per non-empty shard with record clones
+// matching the epoch window, in shard order. The clones are taken with only
+// that shard's read lock held, and fn runs with no locks held at all — so a
+// caller streaming a large store over the network (the state-sync snapshot
+// path) never stalls packet absorption: at most one shard is briefly
+// read-locked while the other fifteen keep absorbing and answering queries.
+// The per-shard record slices are flow-key-sorted, so a concatenation of the
+// shard segments is deterministic up to shard hashing (which is fixed).
+// fn returning an error aborts the walk.
+func (st *RecordStore) SnapshotShards(epochs simtime.EpochRange, fn func(recs []*flowrec.Record) error) error {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		var recs []*flowrec.Record
+		sh.mu.RLock()
+		for _, r := range sh.recs {
+			if MatchesEpochs(r, epochs) {
+				recs = append(recs, r.Clone())
+			}
+		}
+		sh.mu.RUnlock()
+		if len(recs) == 0 {
+			continue
+		}
+		sortRecords(recs)
+		if err := fn(recs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Flush serializes the store (the periodic "flush to local storage"). It

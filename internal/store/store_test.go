@@ -164,3 +164,88 @@ func TestReindexUnchangedPathIsCheap(t *testing.T) {
 		t.Fatalf("index lost: %d", len(got))
 	}
 }
+
+// TestPutReplacementInvalidatesMemos is the ingest-semantics gate: Put of a
+// newer record for an already-indexed flow must invalidate the memoized
+// per-switch answers even when the path is unchanged — otherwise queries
+// keep serving the superseded record forever ("a later batch always wins"
+// would be silently broken).
+func TestPutReplacementInvalidatesMemos(t *testing.T) {
+	st := New()
+	old := addRecord(st, 1, 2, []netsim.NodeID{10, 11}, 100)
+	if got := st.BySwitch(10); len(got) != 1 || got[0].Bytes != 100 {
+		t.Fatalf("pre-replacement BySwitch = %+v", got)
+	}
+
+	// Same path, updated counters (a catch-up ingest batch).
+	upd := old.Clone()
+	upd.Bytes = 250
+	st.Put(upd)
+	if got := st.BySwitch(10); len(got) != 1 || got[0].Bytes != 250 {
+		t.Fatalf("unchanged-path replacement not visible: %+v", got)
+	}
+	if got := st.BySwitch(11); len(got) != 1 || got[0].Bytes != 250 {
+		t.Fatalf("second switch still serves the old record: %+v", got)
+	}
+
+	// Rerouted replacement: old-path-only switches stop answering, new
+	// ones start, shared ones serve the new version.
+	rerouted := upd.Clone()
+	rerouted.Path = []netsim.NodeID{10, 12}
+	rerouted.Epochs = []simtime.EpochRange{{Lo: 5, Hi: 6}, {Lo: 5, Hi: 6}}
+	rerouted.Bytes = 400
+	st.Put(rerouted)
+	if got := st.BySwitch(11); len(got) != 0 {
+		t.Fatalf("stale switch still indexed: %+v", got)
+	}
+	if got := st.BySwitch(12); len(got) != 1 || got[0].Bytes != 400 {
+		t.Fatalf("new switch not indexed: %+v", got)
+	}
+	if got := st.BySwitch(10); len(got) != 1 || got[0].Bytes != 400 {
+		t.Fatalf("shared switch serves a stale version: %+v", got)
+	}
+
+	// Fresh-flow Put (the bootstrap case) still indexes from scratch.
+	fresh := New()
+	fresh.Put(rerouted.Clone())
+	if got := fresh.BySwitch(12); len(got) != 1 || got[0].Bytes != 400 {
+		t.Fatalf("fresh Put not indexed: %+v", got)
+	}
+}
+
+// TestPutRecencyGuard: a stale record (older LastSeen, or same LastSeen
+// with fewer packets) must not clobber the resident one — arrival order
+// does not decide, freshness does.
+func TestPutRecencyGuard(t *testing.T) {
+	st := New()
+	cur := addRecord(st, 1, 2, []netsim.NodeID{10}, 100)
+	cur.LastSeen = 500
+	cur.Pkts = 9
+
+	stale := cur.Clone()
+	stale.LastSeen = 400
+	stale.Bytes = 1
+	if st.Put(stale) {
+		t.Fatal("older LastSeen replaced the resident record")
+	}
+	if got := st.BySwitch(10); got[0].Bytes != 100 {
+		t.Fatalf("stale Put visible: %+v", got[0])
+	}
+
+	fewer := cur.Clone()
+	fewer.Pkts = 3
+	fewer.Bytes = 2
+	if st.Put(fewer) {
+		t.Fatal("same LastSeen with fewer packets replaced the resident record")
+	}
+
+	newer := cur.Clone()
+	newer.LastSeen = 600
+	newer.Bytes = 777
+	if !st.Put(newer) {
+		t.Fatal("newer record rejected")
+	}
+	if got := st.BySwitch(10); got[0].Bytes != 777 {
+		t.Fatalf("newer Put not visible: %+v", got[0])
+	}
+}

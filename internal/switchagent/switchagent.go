@@ -7,6 +7,7 @@ package switchagent
 
 import (
 	"fmt"
+	"sync"
 
 	"switchpointer/internal/bitset"
 	"switchpointer/internal/header"
@@ -38,8 +39,18 @@ type Agent struct {
 	ptr      *pointer.Structure
 	emb      *header.Embedder
 
+	// ctlMu serializes control-plane access — pointer pulls, MPH install,
+	// snapshot/restore, control-store reads — so a daemon can keep serving
+	// while a background bootstrap restores state. The per-packet datapath
+	// stage does NOT take it: the simulation thread has the agent to
+	// itself by contract (handlers are only served while the engine is
+	// idle), so the lock never taxes the hot path.
+	ctlMu sync.Mutex
+
 	// ControlStore accumulates pushed top-level slots — the persistent,
-	// off-chip history for offline diagnosis.
+	// off-chip history for offline diagnosis. Access it through
+	// ControlStoreLen/ControlStoreSnapshot (or under the simulation
+	// thread's exclusivity) when the agent may be serving.
 	ControlStore []pointer.Slot
 
 	// PointerPulls counts analyzer pull requests served.
@@ -72,10 +83,18 @@ func New(net *netsim.Network, tp *topo.Topology, sw *netsim.Switch, cfg Config) 
 // InstallMPH distributes a freshly built minimal perfect hash function to
 // this switch (the analyzer does this whenever the end-host population
 // changes permanently, §4.3).
-func (a *Agent) InstallMPH(t *mph.Table) { a.mphTable = t }
+func (a *Agent) InstallMPH(t *mph.Table) {
+	a.ctlMu.Lock()
+	a.mphTable = t
+	a.ctlMu.Unlock()
+}
 
 // MPH returns the installed hash table (nil before InstallMPH).
-func (a *Agent) MPH() *mph.Table { return a.mphTable }
+func (a *Agent) MPH() *mph.Table {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	return a.mphTable
+}
 
 // Switch returns the switch this agent manages.
 func (a *Agent) Switch() *netsim.Switch { return a.sw }
@@ -136,6 +155,8 @@ type PullResult struct {
 // requested epoch range, from the finest live level that covers it, falling
 // back to the control store's pushed history for older windows.
 func (a *Agent) PullPointers(r simtime.EpochRange) PullResult {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
 	a.ensureEpoch(a.net.Now())
 	a.PointerPulls++
 	bits, info := a.ptr.Query(r)
@@ -160,8 +181,66 @@ func (a *Agent) PullPointers(r simtime.EpochRange) PullResult {
 
 // SlotsAt exposes the pull-model access to raw slots at a given level.
 func (a *Agent) SlotsAt(level int, r simtime.EpochRange) []pointer.Slot {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
 	a.PointerPulls++
 	return a.ptr.SlotsAt(level, r)
+}
+
+// PointerSnapshot serializes the live pointer structure (every slot of
+// every level plus ring positions and accounting) — the switch half of a
+// state-sync snapshot. The control store and MPH are carried separately by
+// the statesync wire form.
+func (a *Agent) PointerSnapshot() ([]byte, error) {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	return a.ptr.Snapshot()
+}
+
+// RestorePointerSnapshot replaces the live pointer structure with a snapshot
+// taken from an agent of identical geometry, so subsequent pointer pulls
+// answer byte-identically to the source's. The epoch backstop continues
+// from the restored epoch. Safe while the agent is serving pulls — that is
+// exactly the bootstrapping daemon's syncing state.
+func (a *Agent) RestorePointerSnapshot(b []byte) error {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	return a.ptr.Restore(b)
+}
+
+// RestoreControlStore replaces the pushed top-level history (bootstrap from
+// a peer snapshot).
+func (a *Agent) RestoreControlStore(slots []pointer.Slot) {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	a.ControlStore = slots
+}
+
+// ControlStoreLen returns the pushed-slot count — the switch daemon's
+// /healthz resident figure, safe while a bootstrap is restoring.
+func (a *Agent) ControlStoreLen() int {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	return len(a.ControlStore)
+}
+
+// ControlStoreSnapshot serializes the pushed top-level history for the
+// state-sync wire (pointer.EncodeSlots form).
+func (a *Agent) ControlStoreSnapshot() ([]byte, error) {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	return pointer.EncodeSlots(a.ControlStore)
+}
+
+// RestoreControlStoreSnapshot replaces the pushed history with one encoded
+// by ControlStoreSnapshot.
+func (a *Agent) RestoreControlStoreSnapshot(b []byte) error {
+	slots, err := pointer.DecodeSlots(b)
+	if err != nil {
+		return err
+	}
+	a.RestoreControlStore(slots)
+	return nil
 }
 
 // MemoryBytes reports the agent's switch-memory footprint: pointer sets plus

@@ -10,10 +10,11 @@ go test ./...
 
 # Race detector over the concurrent surface (analyzer fan-out, RPC fan-out +
 # HTTP client, host-agent query executors, the sharded record store under
-# concurrent query+absorption, the event engine, and the cluster service
-# plane — admission controller + loopback HTTP trio). Scoped to these
+# concurrent query+absorption, the event engine, the cluster service plane —
+# admission controller + loopback HTTP trio — and the state-sync plane:
+# snapshot streaming, bootstrap, ingest, segment log). Scoped to these
 # packages so the full gate stays fast.
-go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster
+go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync
 
 mkdir -p bin
 go build -o bin/ ./cmd/...
@@ -30,7 +31,7 @@ done
 # from the "listening on" stderr line, so leftover processes or port
 # collisions can never make the smoke pass stale or fail spuriously.
 SMOKE_DIR="$(mktemp -d)"
-trap 'kill $SPD_HOST_PID $SPD_SWITCH_PID $SPD_ANALYZER_PID 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+trap 'kill $SPD_HOST_PID $SPD_SWITCH_PID $SPD_ANALYZER_PID 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 SPD_HOST_PID= SPD_SWITCH_PID= SPD_ANALYZER_PID=
 
 # spd_addr LOGFILE — waits for the daemon's "listening on" line and prints
@@ -69,6 +70,32 @@ echo "$SMOKE_OUT"
 case "$SMOKE_OUT" in
 *"diagnosis: too-many-red-lights"*"culprit:"*) echo "e2e smoke: OK" ;;
 *) echo "e2e smoke: FAILED (unexpected report above)"; exit 1 ;;
+esac
+
+# Bootstrap smoke: the state-sync failover path. Host B starts with
+# -bootstrap-from host A — it never replays the scenario, serves in the
+# "syncing" state, absorbs A's snapshots, and goes "live" (spd wait gates on
+# exactly that). Host A is then killed and a fresh analyzer daemon diagnoses
+# against B alone: the report must find the same culprits, proving the
+# bootstrapped state is the live state.
+./bin/spd host -scenario redlights -bootstrap-from "http://$HOST_ADDR" \
+	-listen 127.0.0.1:0 2>"$SMOKE_DIR/host_b.log" &
+SPD_HOST_B_PID=$!
+trap 'kill $SPD_HOST_PID $SPD_SWITCH_PID $SPD_ANALYZER_PID $SPD_HOST_B_PID $SPD_ANALYZER_B_PID 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+SPD_ANALYZER_B_PID=
+HOST_B_ADDR="$(spd_addr "$SMOKE_DIR/host_b.log")"
+./bin/spd wait -url "http://$HOST_B_ADDR/healthz" -timeout 60s
+kill "$SPD_HOST_PID" 2>/dev/null || true
+./bin/spd analyzer -scenario redlights -listen 127.0.0.1:0 \
+	-hosts "http://$HOST_B_ADDR" -switches "http://$SWITCH_ADDR" 2>"$SMOKE_DIR/analyzer_b.log" &
+SPD_ANALYZER_B_PID=$!
+ANALYZER_B_ADDR="$(spd_addr "$SMOKE_DIR/analyzer_b.log")"
+./bin/spd wait -url "http://$ANALYZER_B_ADDR/healthz" -timeout 60s
+BOOT_OUT="$(./bin/spctl -problem redlights -remote "http://$ANALYZER_B_ADDR")"
+echo "$BOOT_OUT"
+case "$BOOT_OUT" in
+*"diagnosis: too-many-red-lights"*"culprit:"*) echo "bootstrap smoke: OK" ;;
+*) echo "bootstrap smoke: FAILED (unexpected report above)"; exit 1 ;;
 esac
 
 echo "verify: OK"
