@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick binaries verify clean
+.PHONY: all build vet lint test race bench bench-quick binaries verify clean
 
 all: verify
 
@@ -12,15 +12,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+## lint: gofmt + go vet + the splint invariant suite (detlint, sortlint,
+## locklint, ctxlint — see README "Invariants & static analysis"); exits
+## non-zero on any unformatted file or splint finding
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/splint ./...
+
 ## test: full test suite
 test:
 	$(GO) test ./...
 
 ## race: race detector over the concurrent surface (analyzer fan-out, RPC,
 ## host-agent query executors, sharded record store, event engine, cluster
-## service plane) — scoped so the gate stays fast
+## service plane, switch agents, the packet simulator, and the root-package
+## integration tests) — scoped so the gate stays fast
 race:
-	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync
+	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync ./internal/switchagent ./internal/netsim .
 
 ## bench: run the paper-figure benchmark suite with -benchmem, refresh the
 ## machine-readable perf-trajectory artifact (BENCH_PR5.json; its baseline
@@ -45,8 +54,9 @@ binaries:
 		$(GO) build -o /dev/null "./$$d"; \
 	done
 
-## verify: the tier-1 gate — build, vet, test, race, and binary compile checks
-verify: build vet test race binaries
+## verify: the tier-1 gate — build, lint (gofmt + vet + splint), test,
+## race, and binary compile checks
+verify: build lint test race binaries
 
 clean:
 	rm -rf bin

@@ -159,7 +159,7 @@ func TestRemoteDirectory(t *testing.T) {
 	}
 
 	// Distribute over the wire: switches keep resolving pointers afterwards.
-	if err := remote.Distribute(); err != nil {
+	if err := remote.Distribute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	again, errs := remote.HostsBatch(context.Background(), reqs)

@@ -1,0 +1,91 @@
+// Command splint runs the SwitchPointer lint suite — four custom
+// analyzers that mechanically enforce the invariants the repo's
+// correctness claims rest on (see README "Invariants & static analysis"):
+//
+//	detlint   no wall clock / unseeded math/rand in deterministic code
+//	sortlint  no map-iteration order leaking into reports or the wire
+//	locklint  no network-blocking calls while a mutex is held
+//	ctxlint   exported I/O functions thread context.Context
+//
+// Usage:
+//
+//	splint [-only detlint,ctxlint] [-dir moduleDir] [packages...]
+//
+// Packages default to ./... . Exit status: 0 clean, 1 diagnostics
+// reported, 2 load/usage error. Suppress a finding with a justified
+// directive on (or directly above) the flagged line:
+//
+//	//splint:wallclock bench harness measures real elapsed time
+//
+// The reason is mandatory; stale or unknown directives are themselves
+// diagnostics, so annotations track the code they excuse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"switchpointer/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("splint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("dir", ".", "directory inside the module to resolve package patterns from")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s //splint:%-10s %s\n", a.Name, a.Directive, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "splint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "splint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "splint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "splint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -171,7 +171,7 @@ func TestIntegrationHostChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	tb.Analyzer.Dir = newDir
-	if err := newDir.Distribute(); err != nil {
+	if err := newDir.Distribute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -16,6 +16,8 @@ const maxCascadeDepth = 4
 // support.
 //
 // Deprecated: use Run with a CascadeQuery.
+//
+//splint:noctx deprecated PR 1 shim; Run(ctx, CascadeQuery{...}) is the ctx-aware path
 func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Report {
 	rep, _ := a.Run(context.Background(), CascadeQuery{Alert: alert})
 	return rep

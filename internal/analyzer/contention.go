@@ -14,6 +14,8 @@ import (
 // cancellation support.
 //
 // Deprecated: use Run with a ContentionQuery.
+//
+//splint:noctx deprecated PR 1 shim; Run(ctx, ContentionQuery{...}) is the ctx-aware path
 func (a *Analyzer) DiagnoseContention(alert hostagent.Alert) *Report {
 	rep, _ := a.Run(context.Background(), ContentionQuery{Alert: alert})
 	return rep

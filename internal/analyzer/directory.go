@@ -64,6 +64,17 @@ type SwitchEpochs struct {
 // the sharded record store (store.RecordStore) serves queries under
 // per-shard read locks. The former single-owner-per-round restriction is
 // gone; fan-out width is purely a throughput knob.
+//
+// # Static-analysis contract
+//
+// splint enforces the interface's cross-cutting rules mechanically:
+// ctxlint requires every exported caller to thread its ctx into
+// Hosts/HostsBatch/Distribute (no context.Background in the middle of a
+// diagnosis), locklint forbids invoking them while a mutex is held (remote
+// implementations perform HTTP rounds), and sortlint guards the expanded
+// host sets: any slice an implementation fills from map iteration must be
+// sorted before it is returned or encoded, or the byte-identical report
+// drift gates break.
 type Directory interface {
 	// Hosts returns the end hosts named by switch sw's pointers over the
 	// epoch range, honouring ctx cancellation. It returns ErrUnknownSwitch
@@ -86,7 +97,9 @@ type Directory interface {
 	// Decode expands a raw pointer bitmap into the end-host IPs it names.
 	Decode(bits *bitset.Set) []netsim.IPv4
 	// Distribute (re)installs the directory's hash table on every switch.
-	Distribute() error
+	// Remote implementations perform one HTTP round per switch, so ctx
+	// bounds the push and must thread into it (enforced by ctxlint).
+	Distribute(ctx context.Context) error
 }
 
 // hostIndex is the cluster-wide minimal perfect hash between end-host IPs
@@ -242,7 +255,8 @@ func (d *MemoryDirectory) HostsBatch(ctx context.Context, reqs []SwitchEpochs) (
 }
 
 // Distribute installs the directory's hash table on every switch (§4.3).
-func (d *MemoryDirectory) Distribute() error {
+// The in-memory push is synchronous and does not block on ctx.
+func (d *MemoryDirectory) Distribute(ctx context.Context) error {
 	for _, sw := range d.switches {
 		sw.InstallMPH(d.table)
 	}

@@ -41,6 +41,8 @@ func (l LinkDistribution) Max() uint64 {
 // parameters yield an inconclusive report instead of an error.
 //
 // Deprecated: use Run with an ImbalanceQuery.
+//
+//splint:noctx deprecated PR 1 shim; Run(ctx, ImbalanceQuery{...}) is the ctx-aware path
 func (a *Analyzer) DiagnoseLoadImbalance(sw netsim.NodeID, window simtime.EpochRange, at simtime.Time) *Report {
 	rep, err := a.Run(context.Background(), ImbalanceQuery{Switch: sw, Window: window, At: at})
 	if rep == nil {

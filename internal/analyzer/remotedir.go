@@ -91,15 +91,15 @@ func (d *RemoteDirectory) HostsBatch(ctx context.Context, reqs []SwitchEpochs) (
 }
 
 // Distribute pushes the directory's hash table to every switch over HTTP,
-// concurrently. It returns the first failure in switch-ID order (all
-// switches are attempted either way).
-func (d *RemoteDirectory) Distribute() error {
+// concurrently, honouring ctx. It returns the first failure in switch-ID
+// order (all dispatched switches are attempted either way).
+func (d *RemoteDirectory) Distribute(ctx context.Context) error {
 	sws := make([]netsim.NodeID, 0, len(d.urls))
 	for sw := range d.urls {
 		sws = append(sws, sw)
 	}
 	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
-	errs := fanOutSlots(context.Background(), d.Workers, len(sws), func(ctx context.Context, i int) error {
+	errs := fanOutSlots(ctx, d.Workers, len(sws), func(ctx context.Context, i int) error {
 		if err := d.client.InstallMPH(ctx, d.urls[sws[i]], d.table); err != nil {
 			return fmt.Errorf("analyzer: distribute to %d: %w", sws[i], err)
 		}

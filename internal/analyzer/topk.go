@@ -31,6 +31,8 @@ const (
 // inconclusive report instead of an error.
 //
 // Deprecated: use Run with a TopKQuery.
+//
+//splint:noctx deprecated PR 1 shim; Run(ctx, TopKQuery{...}) is the ctx-aware path
 func (a *Analyzer) TopK(sw netsim.NodeID, k int, window simtime.EpochRange, mode TopKMode, at simtime.Time) *Report {
 	if k < 0 {
 		k = 0

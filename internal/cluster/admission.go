@@ -201,6 +201,7 @@ func (ad *Admission) Run(ctx context.Context, q analyzer.Query) (*analyzer.Repor
 
 	var expire <-chan time.Time
 	if ad.cfg.QueueWait > 0 {
+		//splint:wallclock queue-wait expiry is a real-time service bound on live daemons
 		t := time.NewTimer(ad.cfg.QueueWait)
 		defer t.Stop()
 		expire = t.C

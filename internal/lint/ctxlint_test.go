@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"switchpointer/internal/lint"
+	"switchpointer/internal/lint/linttest"
+)
+
+func TestCtxlintServicePlane(t *testing.T) {
+	linttest.Run(t, lint.Ctxlint, "ctxlint/rpc")
+}
+
+func TestCtxlintOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.Ctxlint, "ctxlint/other")
+}

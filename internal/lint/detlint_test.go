@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"switchpointer/internal/lint"
+	"switchpointer/internal/lint/linttest"
+)
+
+func TestDetlintDeterministicPackage(t *testing.T) {
+	linttest.Run(t, lint.Detlint, "detlint/netsim")
+}
+
+func TestDetlintDaemonPackage(t *testing.T) {
+	linttest.Run(t, lint.Detlint, "detlint/daemon")
+}

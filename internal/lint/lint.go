@@ -1,0 +1,312 @@
+// Package lint is splint's analysis framework: a self-contained,
+// stdlib-only analogue of golang.org/x/tools/go/analysis (which this
+// offline build cannot vendor). It defines the Analyzer/Pass/Diagnostic
+// vocabulary, the //splint:<verb> suppression directive, and the runner
+// that applies a suite of analyzers to type-checked packages.
+//
+// The four shipped analyzers encode invariants the codebase's correctness
+// claims already rest on (see README "Invariants & static analysis"):
+//
+//   - detlint  — no wall clock / unseeded math/rand in deterministic code
+//   - sortlint — no map-iteration order leaking into reports or the wire
+//   - locklint — no network calls while a mutex is held
+//   - ctxlint  — exported I/O functions thread context.Context
+//
+// A diagnostic is suppressed by a directive comment of the form
+//
+//	//splint:<verb> <reason>
+//
+// placed on the flagged line or the line directly above it, where <verb>
+// is the analyzer's directive verb (e.g. wallclock for detlint). The
+// reason is mandatory: a bare directive is itself reported, so every
+// exemption in the tree carries its one-line justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "detlint").
+	Name string
+	// Doc is a short description shown by cmd/splint.
+	Doc string
+	// Directive is the suppression verb: "//splint:<Directive> <reason>"
+	// on the flagged line (or the line above) suppresses this analyzer's
+	// diagnostic there.
+	Directive string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned in the source tree.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// directiveRE matches a splint suppression comment. The verb is captured;
+// everything after the first space is the justification.
+var directiveRE = regexp.MustCompile(`^//splint:([a-z]+)(.*)$`)
+
+// directive is one parsed //splint:<verb> comment.
+type directive struct {
+	verb   string
+	reason string
+	pos    token.Position
+}
+
+// collectDirectives extracts every splint directive in the files, keyed by
+// (filename, line). A directive suppresses diagnostics on its own line and
+// on the line below it (the usual "annotation above the statement" shape).
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]directive {
+	out := make(map[string]map[int]directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]directive)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = directive{
+					verb:   m[1],
+					reason: strings.TrimSpace(m[2]),
+					pos:    pos,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics in file/line order: analyzer findings minus
+// directive-suppressed ones, plus a diagnostic for each malformed
+// directive (unknown verb or missing reason) so stale or lazy annotations
+// cannot accumulate silently.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// runVerbs are the directives whose analyzers actually execute this
+	// run; only those can be judged stale. knownVerbs spans the full
+	// suite so a partial run (splint -only detlint) never misreads
+	// another analyzer's directive as unknown.
+	runVerbs := make(map[string]bool)
+	for _, a := range analyzers {
+		runVerbs[a.Directive] = true
+	}
+	knownVerbs := make(map[string]bool)
+	for _, a := range All() {
+		knownVerbs[a.Directive] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg.Fset, pkg.Files)
+		used := make(map[string]map[int]bool)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				if dir, line, ok := suppressing(dirs, d, a.Directive); ok {
+					u := used[d.Pos.Filename]
+					if u == nil {
+						u = make(map[int]bool)
+						used[d.Pos.Filename] = u
+					}
+					u[line] = true
+					if dir.reason == "" {
+						// Reported at the flagged line (not the directive)
+						// so the finding stays attached to the code it
+						// excuses; the directive did fire, so it is not
+						// additionally stale.
+						out = append(out, Diagnostic{
+							Analyzer: a.Name,
+							Pos:      d.Pos,
+							Message:  fmt.Sprintf("//splint:%s directive requires a one-line reason", a.Directive),
+						})
+					}
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		// Directives that suppressed nothing are stale (or misspelled):
+		// surface them so annotations track the code they excuse.
+		for file, byLine := range dirs {
+			for line, dir := range byLine {
+				if !knownVerbs[dir.verb] {
+					out = append(out, Diagnostic{
+						Analyzer: "splint",
+						Pos:      dir.pos,
+						Message:  fmt.Sprintf("unknown splint directive %q", dir.verb),
+					})
+					continue
+				}
+				if runVerbs[dir.verb] && !used[file][line] {
+					out = append(out, Diagnostic{
+						Analyzer: "splint",
+						Pos:      dir.pos,
+						Message:  fmt.Sprintf("stale //splint:%s directive: nothing on this or the next line triggers it", dir.verb),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// suppressing reports whether a directive with the given verb covers d,
+// returning the directive and the line it sits on.
+func suppressing(dirs map[string]map[int]directive, d Diagnostic, verb string) (directive, int, bool) {
+	byLine := dirs[d.Pos.Filename]
+	if byLine == nil {
+		return directive{}, 0, false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := byLine[line]; ok && dir.verb == verb {
+			return dir, line, true
+		}
+	}
+	return directive{}, 0, false
+}
+
+// All returns the full splint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detlint, Sortlint, Locklint, Ctxlint}
+}
+
+// ---- shared type helpers used by the analyzers ----
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function, method, or qualified selector), or nil for
+// calls through function-typed variables, built-ins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f, or "".
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// firstParamIsContext reports whether sig's first parameter is a
+// context.Context — the marker splint uses for "ctx-aware, may block".
+func firstParamIsContext(sig *types.Signature) bool {
+	return sig != nil && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// recvTypeName returns the bare type name of a method's receiver
+// (dereferencing one pointer), or "" for non-methods.
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// pkgPathHasSegment reports whether any "/"-separated segment of path
+// equals one of names — how analyzers scope themselves to package
+// families (internal/netsim, cmd/spd, fixture dirs) without hardcoding
+// the module prefix.
+func pkgPathHasSegment(path string, names map[string]bool) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if names[seg] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"switchpointer/internal/lint"
+	"switchpointer/internal/lint/linttest"
+)
+
+func TestLocklint(t *testing.T) {
+	linttest.Run(t, lint.Locklint, "locklint/a")
+}

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Sortlint flags function-local slices that are populated by ranging over
+// a map and then escape — returned, stored into a Report/Wire/Request/
+// Response struct, or handed to an encoder — without any sort call in
+// between. Map iteration order is deliberately randomized by the runtime,
+// so such a slice carries nondeterministic order straight into a Report
+// or wire encoding: exactly the bug class the byte-identical-merge drift
+// gates exist to catch, after the fact. Sortlint catches it at review
+// time.
+//
+// The analysis is function-local and deliberately conservative in both
+// directions: slices appended to outside any map range (e.g. the k-way
+// merge in internal/store, which is sorted by construction) are never
+// flagged, and a single sort.*/slices.* call naming the slice anywhere in
+// the function clears it.
+var Sortlint = &Analyzer{
+	Name:      "sortlint",
+	Doc:       "flags slices filled from map iteration that reach a return, report field, or encoder without being sorted",
+	Directive: "unsorted",
+	Run:       runSortlint,
+}
+
+// sinkTypeNames match struct type names whose fields are report/wire
+// surfaces: order stored there is observable output.
+func isSinkTypeName(name string) bool {
+	for _, frag := range []string{"Report", "Wire", "Request", "Response"} {
+		if strings.Contains(name, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// encoderFuncNames are call names that serialize their arguments.
+var encoderFuncNames = map[string]bool{
+	"Encode": true, "Marshal": true, "MarshalIndent": true,
+}
+
+func runSortlint(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSortFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkSortFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+
+	// Pass 1: find slices appended to inside a range over a map — local
+	// variables (tracked to their sinks in pass 3) and direct appends
+	// into a Report/Wire struct field (already at the sink).
+	type fieldTaint struct {
+		obj  types.Object // the struct field
+		pos  token.Pos
+		name string // Struct.Field for the message
+	}
+	tainted := make(map[types.Object]token.Pos) // slice var -> range position
+	var fieldTaints []fieldTaint
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			asgn, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range asgn.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(asgn.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil {
+					continue // shadowed append, not the builtin
+				}
+				switch lhs := ast.Unparen(asgn.Lhs[i]).(type) {
+				case *ast.Ident:
+					obj := info.Defs[lhs]
+					if obj == nil {
+						obj = info.Uses[lhs]
+					}
+					if obj == nil {
+						continue
+					}
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+						if _, seen := tainted[obj]; !seen {
+							tainted[obj] = rng.Pos()
+						}
+					}
+				case *ast.SelectorExpr:
+					sel, ok := info.Selections[lhs]
+					if !ok {
+						continue
+					}
+					tv, ok := info.Types[lhs.X]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					t := tv.Type
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+					}
+					named, ok := t.(*types.Named)
+					if !ok || !isSinkTypeName(named.Obj().Name()) {
+						continue
+					}
+					fieldTaints = append(fieldTaints, fieldTaint{
+						obj:  sel.Obj(),
+						pos:  asgn.Pos(),
+						name: named.Obj().Name() + "." + lhs.Sel.Name,
+					})
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if len(tainted) == 0 && len(fieldTaints) == 0 {
+		return
+	}
+
+	// Pass 2: objects cleared by a sort call anywhere in the function.
+	// Any identifier appearing in the arguments of a sort.*/slices.*
+	// call counts (covers sort.Slice(s, ...), sort.Sort(byKey(s)),
+	// slices.SortFunc(s, ...)), as do local sort wrappers — any callee
+	// whose name mentions "sort" (sortRecords(out), sortFlowKeys(keys)).
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if p := funcPkgPath(fn); p != "sort" && p != "slices" &&
+			!strings.Contains(strings.ToLower(fn.Name()), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				switch e := m.(type) {
+				case *ast.Ident:
+					if obj := info.Uses[e]; obj != nil {
+						sorted[obj] = true
+					}
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[e]; ok {
+						sorted[sel.Obj()] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	for _, ft := range fieldTaints {
+		if sorted[ft.obj] {
+			continue
+		}
+		pass.Reportf(ft.pos, "%s is appended to while ranging over a map (nondeterministic order) and never sorted; sort it or annotate //splint:unsorted <reason>", ft.name)
+	}
+
+	// Pass 3: sinks. A tainted, unsorted slice reaching one is reported
+	// at the sink (where the directive annotation reads best).
+	report := func(pos token.Pos, obj types.Object, how string) {
+		if sorted[obj] {
+			return
+		}
+		pass.Reportf(pos, "%s was filled from map iteration (nondeterministic order) and %s without a sort; sort it or annotate //splint:unsorted <reason>", obj.Name(), how)
+	}
+	taintedIn := func(e ast.Expr) types.Object {
+		var found types.Object
+		ast.Inspect(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && found == nil {
+				if obj := info.Uses[id]; obj != nil {
+					if _, ok := tainted[obj]; ok {
+						found = obj
+					}
+				}
+			}
+			return found == nil
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if obj := taintedIn(res); obj != nil {
+					report(s.Pos(), obj, "is returned")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || i >= len(s.Rhs) {
+					continue
+				}
+				tv, ok := info.Types[sel.X]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				t := tv.Type
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				named, ok := t.(*types.Named)
+				if !ok || !isSinkTypeName(named.Obj().Name()) {
+					continue
+				}
+				if obj := taintedIn(s.Rhs[i]); obj != nil {
+					report(s.Pos(), obj, "is stored into "+named.Obj().Name()+"."+sel.Sel.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[s]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || !isSinkTypeName(named.Obj().Name()) {
+				return true
+			}
+			for _, elt := range s.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if obj := taintedIn(kv.Value); obj != nil {
+					report(kv.Pos(), obj, "is stored into a "+named.Obj().Name()+" literal")
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, s)
+			if fn == nil || !encoderFuncNames[fn.Name()] {
+				return true
+			}
+			for _, arg := range s.Args {
+				if obj := taintedIn(arg); obj != nil {
+					report(s.Pos(), obj, "is passed to "+fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"switchpointer/internal/lint"
+	"switchpointer/internal/lint/linttest"
+)
+
+func TestSortlint(t *testing.T) {
+	linttest.Run(t, lint.Sortlint, "sortlint/a")
+}

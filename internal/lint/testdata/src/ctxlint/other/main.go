@@ -1,0 +1,10 @@
+// Out-of-scope fixture: the package path has no rpc/cluster/analyzer/
+// statesync segment, so ctxlint must not flag anything here.
+package other
+
+import "net/http"
+
+func FetchNoCtx(url string) error {
+	_, err := http.Get(url)
+	return err
+}

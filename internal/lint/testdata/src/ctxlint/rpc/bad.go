@@ -1,0 +1,30 @@
+// Positive fixture: exported I/O without a ctx parameter (function and
+// method forms), and a ctx-aware function that severs its caller's
+// context with context.Background.
+package rpc
+
+import (
+	"context"
+	"net/http"
+)
+
+func FetchNoCtx(url string) error { // want "exported FetchNoCtx performs I/O but does not take context.Context as its first parameter"
+	_, err := http.Get(url)
+	return err
+}
+
+type Client struct{}
+
+func (c *Client) PushNoCtx(url string) error { // want "exported Client.PushNoCtx performs I/O but does not take context.Context as its first parameter"
+	_, err := http.Post(url, "application/json", nil)
+	return err
+}
+
+func pull(ctx context.Context, url string) error {
+	_ = ctx
+	return nil
+}
+
+func Sever(ctx context.Context, url string) error {
+	return pull(context.Background(), url) // want "severs the caller's context with context.Background/TODO"
+}

@@ -1,0 +1,34 @@
+// Negative fixture: ctx threaded end to end, handlers exempt through
+// their *http.Request (r.Context() is the request's context), unexported
+// helpers out of scope, and pure exported functions with no I/O.
+package rpc
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+)
+
+func FetchWithCtx(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func ServePull(w http.ResponseWriter, r *http.Request) {
+	_ = pull(r.Context(), "upstream")
+}
+
+func fireAndForget(url string) {
+	_, _ = http.Get(url)
+}
+
+func Addr(host string, port int) string {
+	return host + ":" + strconv.Itoa(port)
+}

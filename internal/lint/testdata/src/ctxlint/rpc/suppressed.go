@@ -1,0 +1,11 @@
+// Directive fixture: //splint:noctx with a reason clears the signature
+// finding — the shape the real tree uses on deprecated PR 1 shims.
+package rpc
+
+import "net/http"
+
+//splint:noctx fixture: deprecated shim kept for source compatibility
+func LegacyFetch(url string) error {
+	_, err := http.Get(url)
+	return err
+}

@@ -1,0 +1,16 @@
+// Fixture for a package outside the deterministic-simulation set: wall
+// clock is still flagged (daemons must justify timeouts and progress
+// logs), but with the softer justify-or-annotate message, and a justified
+// directive clears it.
+package daemon
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since is wall clock; justify with //splint:wallclock"
+}
+
+func poll() {
+	//splint:wallclock daemon readiness polling is real time by design
+	time.Sleep(50 * time.Millisecond)
+}

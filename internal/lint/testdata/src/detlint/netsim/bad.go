@@ -1,0 +1,22 @@
+// Positive fixture: wall clock and unseeded math/rand inside a package
+// whose path has a deterministic-simulation segment ("netsim").
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()             // want "time.Now reads the wall clock inside a deterministic-simulation package"
+	time.Sleep(time.Millisecond)    // want "time.Sleep reads the wall clock"
+	<-time.After(time.Millisecond)  // want "time.After reads the wall clock"
+	t := time.NewTimer(time.Second) // want "time.NewTimer reads the wall clock"
+	t.Stop()
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the global math/rand source"
+	return rand.Intn(10)               // want "rand.Intn draws from the global math/rand source"
+}

@@ -1,0 +1,20 @@
+// Negative fixture: everything here is deterministic — explicit seeded
+// sources, pure time conversions, duration arithmetic.
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	return rng.Intn(10) + int(z.Uint64())
+}
+
+func pureTime(ns int64) time.Time {
+	d := 3 * time.Millisecond
+	_ = d.Seconds()
+	return time.Unix(0, ns)
+}

@@ -1,0 +1,21 @@
+// Directive fixture: a justified //splint:wallclock suppresses the
+// diagnostic; a bare one (no reason) and a stale one are themselves
+// findings.
+package netsim
+
+import "time"
+
+func justified() time.Time {
+	//splint:wallclock fixture: legitimately exempt wall-clock read
+	return time.Now()
+}
+
+func bare() time.Time {
+	//splint:wallclock
+	return time.Now() // want "directive requires a one-line reason"
+}
+
+func stale() time.Duration {
+	//splint:wallclock nothing on the next line needs this // want "stale //splint:wallclock directive"
+	return 5 * time.Second
+}

@@ -1,0 +1,44 @@
+// Positive fixture: network calls under a held mutex — directly, through
+// a same-package helper (fixpoint), and via a method on the wire-client
+// type HTTPClient.
+package a
+
+import (
+	"net/http"
+	"sync"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	peers []string
+}
+
+func (r *registry) refreshUnderLock(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, _ = http.Get(url) // want "Get can block on the network while r.mu is locked"
+}
+
+func fetch(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func (r *registry) transitiveUnderLock(url string) {
+	r.mu.Lock()
+	_ = fetch(url) // want "fetch can block on the network while r.mu is locked"
+	r.mu.Unlock()
+}
+
+type HTTPClient struct{}
+
+func (c *HTTPClient) PullPointers() error { return nil }
+
+func (r *registry) wireClientUnderLock(c *HTTPClient) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = c.PullPointers() // want "HTTPClient.PullPointers can block on the network while r.mu is locked"
+}

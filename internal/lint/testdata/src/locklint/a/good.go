@@ -1,0 +1,44 @@
+// Negative fixture: the clone-under-the-lock-send-outside-it shape,
+// handler constructors whose closures run later, and pure critical
+// sections. None of these may be flagged.
+package a
+
+import "net/http"
+
+func (r *registry) snapshotThenSend(url string) {
+	r.mu.Lock()
+	peers := make([]string, len(r.peers))
+	copy(peers, r.peers)
+	r.mu.Unlock()
+	_, _ = http.Get(url) // lock already released: clone-then-send
+	_ = peers
+}
+
+// newHandler only constructs a closure; the closure body runs later,
+// without the caller's locks, so neither the constructor call under a
+// lock nor the closure itself is a finding.
+func newHandler(url string) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		_, _ = http.Get(url)
+	}
+}
+
+func (r *registry) installHandlerUnderLock(mux *http.ServeMux, url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mux.Handle("/pull", newHandler(url))
+}
+
+func (r *registry) pureUnderLock() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.peers)
+}
+
+func (c *HTTPClient) Close() {}
+
+func (r *registry) cleanupUnderLock(c *HTTPClient) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.Close() // teardown, not a network round
+}

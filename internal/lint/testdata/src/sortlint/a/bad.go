@@ -1,0 +1,50 @@
+// Positive fixture: map-iteration-ordered slices reaching each sink
+// sortlint knows about — return, Report field, Report literal, encoder —
+// plus a direct append into a Report field inside the range.
+package a
+
+import "encoding/json"
+
+type FlowReport struct {
+	Keys  []string
+	Total int
+}
+
+func keysReturned(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want "out was filled from map iteration .* and is returned"
+}
+
+func keysToField(m map[string]int, r *FlowReport) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	r.Keys = ks // want "ks was filled from map iteration .* stored into FlowReport.Keys"
+}
+
+func keysToLiteral(m map[string]int) FlowReport {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	r := FlowReport{Keys: ks} // want "ks was filled from map iteration .* stored into a FlowReport literal"
+	return r
+}
+
+func keysEncoded(m map[string]int, enc *json.Encoder) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	_ = enc.Encode(ks) // want "ks was filled from map iteration .* passed to Encode"
+}
+
+func directFieldAppend(m map[string]int, r *FlowReport) {
+	for k := range m {
+		r.Keys = append(r.Keys, k) // want "FlowReport.Keys is appended to while ranging over a map"
+	}
+}

@@ -1,0 +1,81 @@
+// Negative fixture: sorted before the sink (directly, via a local sort
+// wrapper, or via sort.Slice on a field), sorted-by-construction k-way
+// merge, and non-sink destinations. None of these may be flagged.
+package a
+
+import "sort"
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysLocalWrapper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(ks []string) {
+	sort.Strings(ks)
+}
+
+func fieldSorted(m map[string]int, r *FlowReport) {
+	for k := range m {
+		r.Keys = append(r.Keys, k)
+	}
+	sort.Strings(r.Keys)
+}
+
+// mergeSortedRuns is the k-way-merge shape from internal/store: the output
+// is sorted by construction and no map range is involved, so sortlint must
+// stay quiet even though the slice is built by repeated append and
+// returned.
+func mergeSortedRuns(runs [][]int) []int {
+	var out []int
+	heads := make([]int, len(runs))
+	for {
+		best := -1
+		for i, h := range heads {
+			if h >= len(runs[i]) {
+				continue
+			}
+			if best == -1 || runs[i][h] < runs[best][heads[best]] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+type scratch struct {
+	keys []string
+}
+
+func nonSinkDestination(m map[string]int, s *scratch) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	s.keys = ks // scratch is not a Report/Wire type: internal, order-free
+}
+
+func aggregateOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

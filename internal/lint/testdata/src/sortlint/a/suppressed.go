@@ -1,0 +1,12 @@
+// Directive fixture: //splint:unsorted with a reason clears the sink
+// diagnostic.
+package a
+
+func keysOrderFree(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	//splint:unsorted fixture: consumer treats this as a set, order-free
+	return out
+}

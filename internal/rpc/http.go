@@ -362,6 +362,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 // http.Transport whose idle pool spans query rounds, so repeat rounds skip
 // connection initiation entirely — the real-network twin of the cost model's
 // Pooled+Parallel accounting.
+//
+// Static-analysis contract: splint treats every HTTPClient method (except
+// Close/CloseIdleConnections) as a network round. locklint therefore flags
+// any call on one while a sync.Mutex/RWMutex is held — clone the state
+// under the lock and send outside it — and ctxlint requires exported
+// callers in the service-plane packages to thread a context.Context down
+// into these methods rather than severing the chain with
+// context.Background.
 type HTTPClient struct {
 	HTTP *http.Client
 

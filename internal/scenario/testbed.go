@@ -4,6 +4,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"switchpointer/internal/analyzer"
@@ -148,7 +149,7 @@ func NewTestbed(build BuildFunc, opt Options) (*Testbed, error) {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	tb.Analyzer = analyzer.New(tp, dir, tb.HostAgents, opt.Cost)
-	if err := dir.Distribute(); err != nil {
+	if err := dir.Distribute(context.Background()); err != nil {
 		return nil, fmt.Errorf("scenario: distributing MPH: %w", err)
 	}
 	return tb, nil

@@ -40,6 +40,7 @@ func (b *Bootstrapper) http() *http.Client {
 // round emulates one network round trip when an RTT is configured.
 func (b *Bootstrapper) round() {
 	if b.RTT > 0 {
+		//splint:wallclock emulated per-round RTT on a real network pull (1-CPU container seam)
 		time.Sleep(b.RTT)
 	}
 }

@@ -5,6 +5,9 @@
 package transport
 
 import (
+	"sort"
+
+	"switchpointer/internal/flowrec"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/simtime"
 )
@@ -149,12 +152,15 @@ func (f *FlowMeters) Record(p *netsim.Packet, now simtime.Time) {
 // Meter returns the meter for a flow, or nil.
 func (f *FlowMeters) Meter(flow netsim.FlowKey) *Meter { return f.meters[flow] }
 
-// Flows returns the tracked flow keys (order unspecified).
+// Flows returns the tracked flow keys in deterministic (flow-key-sorted)
+// order, so callers can iterate meters without smuggling map order into
+// their output (sortlint's invariant).
 func (f *FlowMeters) Flows() []netsim.FlowKey {
 	out := make([]netsim.FlowKey, 0, len(f.meters))
 	for k := range f.meters {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return flowrec.Less(out[i], out[j]) })
 	return out
 }
 

@@ -1,20 +1,33 @@
 #!/bin/sh
-# Tier-1 verification: build + vet + test + cmd/examples compile checks.
+# Tier-1 verification: build + lint + test + cmd/examples compile checks.
 # Equivalent to `make verify`; kept as a script for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
 go build ./...
+
+# Lint leg, run before the tests: gofmt, go vet, then the splint invariant
+# suite (detlint, sortlint, locklint, ctxlint — see README "Invariants &
+# static analysis"). splint exits 1 on any finding, failing the gate.
+FMT_OUT="$(gofmt -l .)"
+if [ -n "$FMT_OUT" ]; then
+	echo "gofmt needed:"
+	echo "$FMT_OUT"
+	exit 1
+fi
 go vet ./...
+go run ./cmd/splint ./...
+
 go test ./...
 
 # Race detector over the concurrent surface (analyzer fan-out, RPC fan-out +
 # HTTP client, host-agent query executors, the sharded record store under
 # concurrent query+absorption, the event engine, the cluster service plane —
 # admission controller + loopback HTTP trio — and the state-sync plane:
-# snapshot streaming, bootstrap, ingest, segment log). Scoped to these
-# packages so the full gate stays fast.
-go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync
+# snapshot streaming, bootstrap, ingest, segment log — plus the switch
+# agents, the packet simulator, and the root-package integration tests).
+# Scoped to these packages so the full gate stays fast.
+go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync ./internal/switchagent ./internal/netsim .
 
 mkdir -p bin
 go build -o bin/ ./cmd/...
