@@ -52,6 +52,7 @@ import (
 
 	"switchpointer/internal/cluster"
 	"switchpointer/internal/scenario"
+	"switchpointer/internal/simtime"
 	"switchpointer/internal/statesync"
 	"switchpointer/internal/store"
 )
@@ -87,6 +88,8 @@ func usage() {
 
   spd host     -scenario NAME -listen ADDR [-m M -n N]
                [-bootstrap-from URL] [-hot-epochs H -max-records R -cold-dir DIR]
+               [-compact-min-run N -compact-max-bytes B]
+               [-tier-max-age E -tier-archive-dir DIR]
   spd switch   -scenario NAME -listen ADDR [-m M -n N] [-bootstrap-from URL]
   spd analyzer -scenario NAME -listen ADDR -hosts URL -switches URL
                [-m M -n N -max-inflight K -max-queue Q -queue-wait D]
@@ -119,6 +122,10 @@ func serveCmd(role string, args []string) error {
 		hotEpochs    = fs.Int("hot-epochs", 0, "host: retention age bound in epochs (0 = no age eviction)")
 		maxRecords   = fs.Int("max-records", 0, "host: retention resident-record cap (0 = unbounded)")
 		coldDir      = fs.String("cold-dir", "", "host: directory for the evicted-segment logs (empty = in-memory logs when retention is on)")
+		compactRun   = fs.Int("compact-min-run", 0, "host: compact runs of at least this many small cold segments (0 = no compaction)")
+		compactBytes = fs.Int("compact-max-bytes", 0, "host: segments larger than this never join a compaction run (0 = default 1 MiB)")
+		tierMaxAge   = fs.Int("tier-max-age", 0, "host: tier out cold segments older than this many epochs (0 = no tiering)")
+		tierArchive  = fs.String("tier-archive-dir", "", "host: archive tiered payloads here (empty = delete them)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,6 +139,21 @@ func serveCmd(role string, args []string) error {
 	// combination that would leave the operator believing the store is
 	// bounded (or a cold log armed) when nothing runs.
 	retentionFlags := *hotEpochs > 0 || *maxRecords > 0 || *coldDir != ""
+	coldTierFlags := *compactRun > 0 || *compactBytes > 0 || *tierMaxAge > 0 || *tierArchive != ""
+	if coldTierFlags {
+		if role != "host" {
+			return errors.New("-compact-*/-tier-* apply to the host role only")
+		}
+		if !retentionFlags {
+			return errors.New("-compact-*/-tier-* need retention armed (-hot-epochs/-max-records): without eviction there is no cold log to maintain")
+		}
+		if *compactBytes > 0 && *compactRun <= 0 {
+			return errors.New("-compact-max-bytes needs -compact-min-run: compaction is off without a run length")
+		}
+		if *tierArchive != "" && *tierMaxAge <= 0 {
+			return errors.New("-tier-archive-dir needs -tier-max-age: tiering is off without an age bound")
+		}
+	}
 	if retentionFlags {
 		if role != "host" {
 			return errors.New("-hot-epochs/-max-records/-cold-dir apply to the host role only")
@@ -150,6 +172,9 @@ func serveCmd(role string, args []string) error {
 		// on the engine timer during the replay, so the daemon comes up with
 		// a bounded resident set and an indexed cold log per host — queries
 		// past the hot window transparently consult it (cold read-back).
+		// Compaction and tiering ride the same weak timer, so the cold log
+		// stays merged and age-bounded as evictions accumulate.
+		net := s.Testbed.Net
 		for ip, ag := range s.Testbed.HostAgents {
 			dir := ""
 			if *coldDir != "" {
@@ -165,9 +190,38 @@ func serveCmd(role string, args []string) error {
 				MaxRecords: *maxRecords,
 				Cold:       seglog,
 			}, 0)
+			logErr := func(err error) { fmt.Fprintln(os.Stderr, "spd host: cold-tier sweep:", err) }
+			if *compactRun > 0 {
+				c := &statesync.Compactor{
+					Log:     seglog,
+					Policy:  statesync.CompactPolicy{MinRun: *compactRun, MaxSegmentBytes: *compactBytes},
+					OnError: logErr,
+				}
+				net.Engine.EveryWeak(10*simtime.Millisecond, func() {
+					_, _ = c.Run(context.Background())
+				})
+			}
+			if *tierMaxAge > 0 {
+				archive := ""
+				if *tierArchive != "" {
+					archive = filepath.Join(*tierArchive, ip.String())
+				}
+				t := &statesync.Tier{
+					Log: seglog,
+					Policy: statesync.TierPolicy{
+						MaxAgeEpochs: *tierMaxAge,
+						Alpha:        s.Testbed.Opt.Alpha,
+						ArchiveDir:   archive,
+					},
+					OnError: logErr,
+				}
+				net.Engine.EveryWeak(10*simtime.Millisecond, func() {
+					_, _ = t.Sweep(context.Background(), net.Now())
+				})
+			}
 		}
-		fmt.Fprintf(os.Stderr, "spd host: retention armed (hot-epochs %d, max-records %d, cold-dir %q)\n",
-			*hotEpochs, *maxRecords, *coldDir)
+		fmt.Fprintf(os.Stderr, "spd host: retention armed (hot-epochs %d, max-records %d, cold-dir %q, compact-min-run %d, tier-max-age %d)\n",
+			*hotEpochs, *maxRecords, *coldDir, *compactRun, *tierMaxAge)
 	}
 
 	// With -bootstrap-from the scenario is NOT replayed: the daemon serves

@@ -41,17 +41,19 @@ func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (
 	first, err := a.contentionRound(ctx, clock, alert)
 	agg := first
 	result := &Report{
-		Alert:          alert,
-		Clock:          clock,
-		PerSwitch:      first.PerSwitch,
-		Culprits:       first.Culprits,
-		PointerHosts:   first.PointerHosts,
-		PrunedHosts:    first.PrunedHosts,
-		HostsContacted: first.HostsContacted,
-		Consulted:      first.Consulted,
-		ColdSegments:   first.ColdSegments,
-		Cascade:        chain,
-		Kind:           KindInconclusive,
+		Alert:              alert,
+		Clock:              clock,
+		PerSwitch:          first.PerSwitch,
+		Culprits:           first.Culprits,
+		PointerHosts:       first.PointerHosts,
+		PrunedHosts:        first.PrunedHosts,
+		HostsContacted:     first.HostsContacted,
+		Consulted:          first.Consulted,
+		ColdSegments:       first.ColdSegments,
+		ColdSkippedByIndex: first.ColdSkippedByIndex,
+		TieredSegments:     first.TieredSegments,
+		Cascade:            chain,
+		Kind:               KindInconclusive,
 	}
 	if err != nil {
 		return aborted(result, ctx, err, "first contention round")
@@ -87,6 +89,8 @@ func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (
 		result.PrunedHosts += next.PrunedHosts
 		result.HostsContacted += next.HostsContacted
 		result.ColdSegments += next.ColdSegments
+		result.ColdSkippedByIndex += next.ColdSkippedByIndex
+		result.TieredSegments += next.TieredSegments
 		result.Consulted = dedupIPs(result.Consulted, next.Consulted)
 		for sw, cs := range next.PerSwitch {
 			for _, c := range filterAbovePriority(cs, top.Priority) {

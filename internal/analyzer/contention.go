@@ -96,12 +96,16 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 	for i := 0; i < dispatched; i++ {
 		ip := contact[i]
 		scanned := 0
-		coldScanned := 0
+		coldSegs := 0
+		coldReturned := 0
 		for qi, ans := range answers[i] {
 			tup := alert.Tuples[qi]
 			scanned += len(ans.Records)
-			coldScanned += ans.ColdRecords
+			coldSegs += ans.ColdSegments
+			coldReturned += ans.ColdReturned
 			d.ColdSegments += ans.ColdSegments
+			d.ColdSkippedByIndex += ans.ColdSkippedByIndex
+			d.TieredSegments += ans.TieredSegments
 			for _, rec := range ans.Records {
 				if rec.Flow == alert.Flow {
 					continue
@@ -137,9 +141,15 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 			}
 		}
 		recCounts[i] = scanned
-		if coldScanned > 0 {
+		// A host joins the cold round iff it decoded flushed segments. The
+		// round is sized by the records the cold tier RETURNED — the part
+		// of the answer that crosses the wire, the same returned-records
+		// basis the diagnosis round above uses — not by the host-local
+		// decode work (ans.ColdRecords), so compacting segments can never
+		// raise the charged cost of an unchanged answer.
+		if coldSegs > 0 {
 			coldHosts = append(coldHosts, ip.String())
-			coldRecs = append(coldRecs, coldScanned)
+			coldRecs = append(coldRecs, coldReturned)
 		}
 	}
 	if cerr != nil {

@@ -143,6 +143,14 @@ type Report struct {
 	// a diagnosis answered entirely from resident telemetry; when non-zero,
 	// the Clock carries the matching extra "cold-read-back" round.
 	ColdSegments int
+	// ColdSkippedByIndex counts epoch-overlapping cold segments the hosts'
+	// manifest indexes excluded without decoding — the archive the diagnosis
+	// did NOT have to pay for.
+	ColdSkippedByIndex int
+	// TieredSegments counts cold segments whose manifests matched but whose
+	// payloads were tiered out of cold storage: history the report honestly
+	// does not include.
+	TieredSegments int
 
 	// Clock carries the virtual-time cost breakdown (Fig 7). It is always
 	// non-nil, and holds the partial cost when the query was cancelled.

@@ -40,7 +40,9 @@ func hostStats(tb *scenario.Testbed) func() (resident, evictedSegments int) {
 		for _, ag := range tb.HostAgents {
 			resident += ag.Store.Len()
 			if cold := ag.ColdReader(); cold != nil {
-				evictedSegments += len(cold.Manifests())
+				v := cold.View()
+				evictedSegments += v.Len()
+				v.Close()
 			}
 		}
 		return resident, evictedSegments

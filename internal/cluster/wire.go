@@ -110,6 +110,11 @@ type WireReport struct {
 	HostsContacted int           `json:"hosts_contacted"`
 	Consulted      []netsim.IPv4 `json:"consulted,omitempty"`
 	ColdSegments   int           `json:"cold_segments,omitempty"`
+	// ColdSkippedByIndex / TieredSegments: cold-tier index accounting —
+	// segments excluded without decoding, and segments whose payloads aged
+	// out of cold storage entirely.
+	ColdSkippedByIndex int `json:"cold_skipped_by_index,omitempty"`
+	TieredSegments     int `json:"tiered_segments,omitempty"`
 
 	// Virtual-time cost accounting, flattened from the report's Clock.
 	Phases          []rpc.Phase  `json:"phases,omitempty"`
@@ -125,21 +130,23 @@ func WireFromReport(r *analyzer.Report) *WireReport {
 		return nil
 	}
 	w := &WireReport{
-		Kind:           r.Kind,
-		Conclusion:     r.Conclusion,
-		Switch:         r.Switch,
-		Culprits:       r.Culprits,
-		PerSwitch:      r.PerSwitch,
-		Cascade:        r.Cascade,
-		Links:          r.Links,
-		Separated:      r.Separated,
-		Boundary:       r.Boundary,
-		Flows:          r.Flows,
-		PointerHosts:   r.PointerHosts,
-		PrunedHosts:    r.PrunedHosts,
-		HostsContacted: r.HostsContacted,
-		Consulted:      r.Consulted,
-		ColdSegments:   r.ColdSegments,
+		Kind:               r.Kind,
+		Conclusion:         r.Conclusion,
+		Switch:             r.Switch,
+		Culprits:           r.Culprits,
+		PerSwitch:          r.PerSwitch,
+		Cascade:            r.Cascade,
+		Links:              r.Links,
+		Separated:          r.Separated,
+		Boundary:           r.Boundary,
+		Flows:              r.Flows,
+		PointerHosts:       r.PointerHosts,
+		PrunedHosts:        r.PrunedHosts,
+		HostsContacted:     r.HostsContacted,
+		Consulted:          r.Consulted,
+		ColdSegments:       r.ColdSegments,
+		ColdSkippedByIndex: r.ColdSkippedByIndex,
+		TieredSegments:     r.TieredSegments,
 	}
 	if r.Alert.Flow != (netsim.FlowKey{}) || r.Alert.Kind != 0 {
 		alert := r.Alert

@@ -34,6 +34,7 @@ func Registry() []Entry {
 		{ID: "ablation-header", Desc: "commodity vs INT embedding", Run: AblationHeaderModes},
 		{ID: "ablation-packetmix", Desc: "throughput under realistic packet mixes", Run: AblationPacketMix, Heavy: true},
 		{ID: "ablation-rulefloor", Desc: "commodity epoch-rule floor", Run: AblationEpochRuleFloor},
+		{ID: "ablation-coldtier", Desc: "cold-tier read-back: index, compaction, tiering", Run: AblationColdTier},
 		{ID: "diagnosis-throughput", Desc: "reports/sec under overlapping alerts at admission limits 1/4/16", Run: DiagnosisThroughput},
 	}
 }

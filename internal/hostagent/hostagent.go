@@ -298,22 +298,50 @@ func (a *Agent) raise(al Alert) {
 // multi-threaded with no single-owner-per-round restriction.
 
 // HeadersQuery asks for records of flows that traversed a switch during an
-// epoch range.
+// epoch range. Flows, when non-empty, restricts the answer to those flow
+// keys — and lets the cold tier's per-segment bloom/flow-key index skip
+// segments that cannot contain any of them.
 type HeadersQuery struct {
 	Switch netsim.NodeID
 	Epochs simtime.EpochRange
+	Flows  []netsim.FlowKey
+}
+
+// wantsFlow reports whether the query's flow restriction (if any) admits f.
+func (q HeadersQuery) wantsFlow(f netsim.FlowKey) bool {
+	if len(q.Flows) == 0 {
+		return true
+	}
+	for _, w := range q.Flows {
+		if w == f {
+			return true
+		}
+	}
+	return false
 }
 
 // HeadersAnswer is one host's reply to a HeadersQuery: the matching records
 // plus the cold read-back accounting the analyzer needs to charge honestly.
 // ColdSegments counts flushed segments this query had to decode (0 when the
 // whole window was answered from the hot resident set); ColdRecords counts
-// the records decoded from them (the scan cost of the extra round, not just
-// the matches).
+// the records decoded from them (the host-local scan work, not just the
+// matches). ColdReturned counts the records in Records that were recovered
+// from cold segments rather than the hot store — the part of the answer
+// that actually crosses the wire in the extra round, and therefore what
+// the analyzer sizes that round by (the same returned-records basis the
+// hot diagnosis round uses). ColdSkippedByIndex counts segments whose
+// epoch range overlapped the window but whose manifest index (switch set,
+// flow bounds, bloom) proved them irrelevant — skipped without decoding,
+// the "cost proportional to the answer" savings. TieredSegments counts
+// segments whose manifests matched but whose payloads were tiered out of
+// cold storage: data the answer honestly does NOT include.
 type HeadersAnswer struct {
-	Records      []*flowrec.Record
-	ColdSegments int
-	ColdRecords  int
+	Records            []*flowrec.Record
+	ColdSegments       int
+	ColdRecords        int
+	ColdReturned       int
+	ColdSkippedByIndex int
+	TieredSegments     int
 }
 
 // QueryHeaders returns (clones of) records matching the query: the
@@ -349,7 +377,7 @@ func (a *Agent) QueryHeadersMulti(ctx context.Context, qs []HeadersQuery) []Head
 		q := qs[qi]
 		a.Store.QueryBySwitch(q.Switch, func(rec *flowrec.Record) bool {
 			er, ok := rec.EpochsAt(q.Switch)
-			if ok && er.Overlaps(q.Epochs) {
+			if ok && er.Overlaps(q.Epochs) && q.wantsFlow(rec.Flow) {
 				out[qi].Records = append(out[qi].Records, rec.Clone())
 			}
 			return true
@@ -359,11 +387,15 @@ func (a *Agent) QueryHeadersMulti(ctx context.Context, qs []HeadersQuery) []Head
 		return out
 	}
 
-	// Cold read-back: decode only segments whose manifest epoch range
-	// overlaps some query's window, keep records matching that query's
-	// (switch, epochs) that are not already answered hot. Later segments
-	// win for a flow evicted more than once (eviction order is write
-	// order).
+	// Cold read-back over a point-in-time view of the segment log: decode
+	// only segments whose manifest epoch range overlaps some query's window
+	// AND whose index (switch set, flow-key bounds, bloom) cannot rule the
+	// query out — index exclusions are counted per query as
+	// ColdSkippedByIndex. Tiered-out segments are never decoded (the data
+	// is gone); they are reported as TieredSegments so the answer's gap is
+	// honest. Kept records must match the query's (switch, epochs) and not
+	// already be answered hot. Later segments win for a flow evicted more
+	// than once (eviction order is write order).
 	hot := make([]map[netsim.FlowKey]bool, len(qs))
 	recovered := make([]map[netsim.FlowKey]*flowrec.Record, len(qs))
 	for qi := range qs {
@@ -373,20 +405,34 @@ func (a *Agent) QueryHeadersMulti(ctx context.Context, qs []HeadersQuery) []Head
 		}
 		recovered[qi] = make(map[netsim.FlowKey]*flowrec.Record)
 	}
+	view := a.cold.View()
+	defer view.Close()
 	var interested []int
 	var recs []*flowrec.Record
-	for i, m := range a.cold.Manifests() {
+	for i := 0; i < view.Len(); i++ {
+		m := view.Manifest(i)
 		interested = interested[:0]
 		for qi := range qs {
-			if m.Epochs.Overlaps(qs[qi].Epochs) {
-				interested = append(interested, qi)
+			q := qs[qi]
+			if !m.Epochs.Overlaps(q.Epochs) {
+				continue
 			}
+			if !m.MayContainSwitch(q.Switch) ||
+				(len(q.Flows) > 0 && !m.MayContainAnyFlow(q.Flows)) {
+				out[qi].ColdSkippedByIndex++
+				continue
+			}
+			if m.Tiered {
+				out[qi].TieredSegments++
+				continue
+			}
+			interested = append(interested, qi)
 		}
 		if len(interested) == 0 {
 			continue
 		}
 		recs = recs[:0]
-		err := a.cold.ReadSegment(i, func(rec *flowrec.Record) { recs = append(recs, rec) })
+		err := view.ReadSegment(i, func(rec *flowrec.Record) { recs = append(recs, rec) })
 		if err != nil {
 			if a.OnEvictError != nil {
 				a.OnEvictError(fmt.Errorf("hostagent: cold read-back: %w", err))
@@ -398,7 +444,7 @@ func (a *Agent) QueryHeadersMulti(ctx context.Context, qs []HeadersQuery) []Head
 			out[qi].ColdSegments++
 			out[qi].ColdRecords += len(recs)
 			for _, rec := range recs {
-				if hot[qi][rec.Flow] {
+				if hot[qi][rec.Flow] || !q.wantsFlow(rec.Flow) {
 					continue
 				}
 				er, ok := rec.EpochsAt(q.Switch)
@@ -412,6 +458,7 @@ func (a *Agent) QueryHeadersMulti(ctx context.Context, qs []HeadersQuery) []Head
 		if len(recovered[qi]) == 0 {
 			continue
 		}
+		out[qi].ColdReturned = len(recovered[qi])
 		for _, rec := range recovered[qi] {
 			out[qi].Records = append(out[qi].Records, rec)
 		}

@@ -28,20 +28,30 @@ import (
 // their state behind these handlers directly.
 
 // HeadersRequest asks a host for records matching (switch, epoch range).
+// Flows, when non-empty, restricts the answer to those flow keys and lets
+// the host's cold-tier manifest index skip segments that cannot contain
+// any of them.
 type HeadersRequest struct {
-	Switch  netsim.NodeID `json:"switch"`
-	EpochLo simtime.Epoch `json:"epoch_lo"`
-	EpochHi simtime.Epoch `json:"epoch_hi"`
+	Switch  netsim.NodeID    `json:"switch"`
+	EpochLo simtime.Epoch    `json:"epoch_lo"`
+	EpochHi simtime.Epoch    `json:"epoch_hi"`
+	Flows   []netsim.FlowKey `json:"flows,omitempty"`
 }
 
 // HeadersResponse answers a HeadersRequest: the matching records plus the
 // host's cold read-back accounting (flushed segments decoded / records
 // scanned past the hot window — zero when the window was answered entirely
-// from the resident set).
+// from the resident set). ColdSkippedByIndex counts epoch-overlapping
+// segments the manifest index excluded without decoding; TieredSegments
+// counts matching segments whose payloads were tiered out of cold storage
+// (data the answer honestly does not include).
 type HeadersResponse struct {
-	Records      []*flowrec.Record `json:"records"`
-	ColdSegments int               `json:"cold_segments,omitempty"`
-	ColdRecords  int               `json:"cold_records,omitempty"`
+	Records            []*flowrec.Record `json:"records"`
+	ColdSegments       int               `json:"cold_segments,omitempty"`
+	ColdRecords        int               `json:"cold_records,omitempty"`
+	ColdReturned       int               `json:"cold_returned,omitempty"`
+	ColdSkippedByIndex int               `json:"cold_skipped_by_index,omitempty"`
+	TieredSegments     int               `json:"tiered_segments,omitempty"`
 }
 
 // HeadersBatchRequest asks a host to answer several header queries in one
@@ -181,12 +191,9 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 		ans := a.QueryHeaders(r.Context(), hostagent.HeadersQuery{
 			Switch: req.Switch,
 			Epochs: simtime.EpochRange{Lo: req.EpochLo, Hi: req.EpochHi},
+			Flows:  req.Flows,
 		})
-		writeJSON(w, HeadersResponse{
-			Records:      ans.Records,
-			ColdSegments: ans.ColdSegments,
-			ColdRecords:  ans.ColdRecords,
-		})
+		writeJSON(w, headersToWire(ans))
 	})
 	mux.HandleFunc("/headers-batch", func(w http.ResponseWriter, r *http.Request) {
 		var req HeadersBatchRequest
@@ -198,16 +205,13 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 			qs[i] = hostagent.HeadersQuery{
 				Switch: q.Switch,
 				Epochs: simtime.EpochRange{Lo: q.EpochLo, Hi: q.EpochHi},
+				Flows:  q.Flows,
 			}
 		}
 		answers := a.QueryHeadersMulti(r.Context(), qs)
 		resp := HeadersBatchResponse{Answers: make([]HeadersResponse, len(answers))}
 		for i, ans := range answers {
-			resp.Answers[i] = HeadersResponse{
-				Records:      ans.Records,
-				ColdSegments: ans.ColdSegments,
-				ColdRecords:  ans.ColdRecords,
-			}
+			resp.Answers[i] = headersToWire(ans)
 		}
 		writeJSON(w, resp)
 	})
@@ -492,16 +496,36 @@ func (c *HTTPClient) SwitchSnapshot(ctx context.Context, baseURL string) (Switch
 	return out, err
 }
 
+// headersToWire/headersFromWire map between the in-process HeadersAnswer
+// and its wire form, field for field.
+func headersToWire(ans hostagent.HeadersAnswer) HeadersResponse {
+	return HeadersResponse{
+		Records:            ans.Records,
+		ColdSegments:       ans.ColdSegments,
+		ColdRecords:        ans.ColdRecords,
+		ColdReturned:       ans.ColdReturned,
+		ColdSkippedByIndex: ans.ColdSkippedByIndex,
+		TieredSegments:     ans.TieredSegments,
+	}
+}
+
+func headersFromWire(resp HeadersResponse) hostagent.HeadersAnswer {
+	return hostagent.HeadersAnswer{
+		Records:            resp.Records,
+		ColdSegments:       resp.ColdSegments,
+		ColdRecords:        resp.ColdRecords,
+		ColdReturned:       resp.ColdReturned,
+		ColdSkippedByIndex: resp.ColdSkippedByIndex,
+		TieredSegments:     resp.TieredSegments,
+	}
+}
+
 // QueryHeaders fetches matching records (and the host's cold read-back
 // accounting) from a host agent at baseURL.
 func (c *HTTPClient) QueryHeaders(ctx context.Context, baseURL string, sw netsim.NodeID, epochs simtime.EpochRange) (hostagent.HeadersAnswer, error) {
 	var out HeadersResponse
 	err := c.post(ctx, baseURL+"/headers", HeadersRequest{Switch: sw, EpochLo: epochs.Lo, EpochHi: epochs.Hi}, &out)
-	return hostagent.HeadersAnswer{
-		Records:      out.Records,
-		ColdSegments: out.ColdSegments,
-		ColdRecords:  out.ColdRecords,
-	}, err
+	return headersFromWire(out), err
 }
 
 // QueryHeadersBatch answers several header queries against one host in a
@@ -509,7 +533,7 @@ func (c *HTTPClient) QueryHeaders(ctx context.Context, baseURL string, sw netsim
 func (c *HTTPClient) QueryHeadersBatch(ctx context.Context, baseURL string, qs []hostagent.HeadersQuery) ([]hostagent.HeadersAnswer, error) {
 	req := HeadersBatchRequest{Queries: make([]HeadersRequest, len(qs))}
 	for i, q := range qs {
-		req.Queries[i] = HeadersRequest{Switch: q.Switch, EpochLo: q.Epochs.Lo, EpochHi: q.Epochs.Hi}
+		req.Queries[i] = HeadersRequest{Switch: q.Switch, EpochLo: q.Epochs.Lo, EpochHi: q.Epochs.Hi, Flows: q.Flows}
 	}
 	var out HeadersBatchResponse
 	if err := c.post(ctx, baseURL+"/headers-batch", req, &out); err != nil {
@@ -520,11 +544,7 @@ func (c *HTTPClient) QueryHeadersBatch(ctx context.Context, baseURL string, qs [
 	}
 	answers := make([]hostagent.HeadersAnswer, len(out.Answers))
 	for i, ans := range out.Answers {
-		answers[i] = hostagent.HeadersAnswer{
-			Records:      ans.Records,
-			ColdSegments: ans.ColdSegments,
-			ColdRecords:  ans.ColdRecords,
-		}
+		answers[i] = headersFromWire(ans)
 	}
 	return answers, nil
 }

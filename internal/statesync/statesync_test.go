@@ -85,7 +85,7 @@ func TestSegmentLogModes(t *testing.T) {
 			t.Fatalf("Len = %d, want 2", log.Len())
 		}
 		ms := log.Manifests()
-		if len(ms) != 2 || ms[0] != manifest {
+		if len(ms) != 2 || ms[0].Epochs != manifest.Epochs || ms[0].Flows != manifest.Flows || ms[0].Bytes != manifest.Bytes {
 			t.Fatalf("Manifests = %+v", ms)
 		}
 		got := 0

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+
+	"switchpointer/internal/flowrec"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+)
+
+// manifestRecord builds a standalone record for manifest-index tests.
+func manifestRecord(port uint16, last simtime.Time, path ...netsim.NodeID) *flowrec.Record {
+	flow := netsim.FlowKey{Src: netsim.IP(10, 0, 0, 1), Dst: netsim.IP(10, 0, byte(port>>8), byte(port)),
+		SrcPort: port, DstPort: 80, Proto: 17}
+	r := flowrec.New(flow)
+	r.Path = append(r.Path, path...)
+	for range path {
+		r.Epochs = append(r.Epochs, simtime.EpochRange{Lo: simtime.Epoch(port), Hi: simtime.Epoch(port) + 2})
+	}
+	r.LastSeen = last
+	return r
+}
+
+// TestNewSegmentManifestIndex pins the version-1 index: epoch union, sorted
+// switch set, exact flow bounds, and a bloom with no false negatives.
+func TestNewSegmentManifestIndex(t *testing.T) {
+	recs := []*flowrec.Record{
+		manifestRecord(30, 5, 7, 3),
+		manifestRecord(10, 6, 3),
+		manifestRecord(20, 7, 9),
+	}
+	m := NewSegmentManifest(recs)
+	if m.V != manifestVersion {
+		t.Fatalf("V = %d, want %d", m.V, manifestVersion)
+	}
+	if m.Flows != 3 {
+		t.Fatalf("Flows = %d", m.Flows)
+	}
+	if m.Epochs != (simtime.EpochRange{Lo: 10, Hi: 32}) {
+		t.Fatalf("Epochs = %+v", m.Epochs)
+	}
+	wantSw := []netsim.NodeID{3, 7, 9}
+	if len(m.Switches) != len(wantSw) {
+		t.Fatalf("Switches = %v", m.Switches)
+	}
+	for i, sw := range wantSw {
+		if m.Switches[i] != sw {
+			t.Fatalf("Switches = %v, want %v", m.Switches, wantSw)
+		}
+		if !m.MayContainSwitch(sw) {
+			t.Fatalf("MayContainSwitch(%d) = false", sw)
+		}
+	}
+	if m.MayContainSwitch(4) {
+		t.Fatal("MayContainSwitch(4) = true for a switch no record traversed")
+	}
+	if m.FlowLo == nil || m.FlowHi == nil {
+		t.Fatal("flow bounds missing")
+	}
+	if m.FlowLo.SrcPort != 10 || m.FlowHi.SrcPort != 30 {
+		t.Fatalf("bounds = %v..%v", m.FlowLo, m.FlowHi)
+	}
+	for _, r := range recs {
+		if !m.MayContainFlow(r.Flow) {
+			t.Fatalf("false negative for member flow %v", r.Flow)
+		}
+	}
+	// A flow outside the key bounds is excluded without a bloom probe.
+	if m.MayContainFlow(netsim.FlowKey{Src: netsim.IP(11, 0, 0, 1)}) {
+		t.Fatal("flow above FlowHi not excluded")
+	}
+}
+
+// TestFlowBloomDeterministicAndBounded pins the filter contract: identical
+// input sets produce identical bytes (fixed seeds), membership never false-
+// negatives, and the ~10 bits/flow geometry keeps the false-positive rate in
+// the expected ~1% band.
+func TestFlowBloomDeterministicAndBounded(t *testing.T) {
+	const n = 1000
+	build := func() *FlowBloom {
+		b := NewFlowBloom(n)
+		for i := 0; i < n; i++ {
+			b.Add(netsim.FlowKey{Src: netsim.IPv4(i), Dst: netsim.IPv4(i * 7), SrcPort: uint16(i), DstPort: 80, Proto: 6})
+		}
+		return b
+	}
+	b1, b2 := build(), build()
+	j1, err := json.Marshal(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(b2)
+	if string(j1) != string(j2) {
+		t.Fatal("identical input sets produced different filter bytes")
+	}
+	for i := 0; i < n; i++ {
+		f := netsim.FlowKey{Src: netsim.IPv4(i), Dst: netsim.IPv4(i * 7), SrcPort: uint16(i), DstPort: 80, Proto: 6}
+		if !b1.MayContain(f) {
+			t.Fatalf("false negative for member %d", i)
+		}
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		f := netsim.FlowKey{Src: netsim.IPv4(i + 1_000_000), Dst: netsim.IPv4(i), SrcPort: uint16(i), DstPort: 443, Proto: 6}
+		if b1.MayContain(f) {
+			fp++
+		}
+	}
+	// 7 probes at 10 bits/flow target ~1%; allow generous slack (3%) so the
+	// gate never flakes while still catching a broken hash.
+	if fp > probes*3/100 {
+		t.Fatalf("false positive rate %d/%d exceeds 3%%", fp, probes)
+	}
+	if words := (n*bloomBitsPerFlow + 63) / 64; b1.SizeBytes() != words*8 {
+		t.Fatalf("SizeBytes = %d, want %d", b1.SizeBytes(), words*8)
+	}
+}
+
+// TestSegmentManifestJSONRoundTrip pins the persisted form: a full
+// version-1 manifest survives marshal/unmarshal with its index intact.
+func TestSegmentManifestJSONRoundTrip(t *testing.T) {
+	recs := []*flowrec.Record{manifestRecord(5, 1, 2), manifestRecord(6, 2, 4)}
+	m := NewSegmentManifest(recs)
+	m.Bytes = 123
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SegmentManifest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := json.Marshal(back)
+	if string(raw) != string(raw2) {
+		t.Fatalf("round trip diverged:\n%s\n%s", raw, raw2)
+	}
+	for _, r := range recs {
+		if !back.MayContainFlow(r.Flow) {
+			t.Fatalf("round-tripped manifest lost member %v", r.Flow)
+		}
+	}
+	if back.MayContainSwitch(9) {
+		t.Fatal("round-tripped manifest lost switch index")
+	}
+}
+
+// TestSegmentManifestLegacyConservative pins backward compatibility: a bare
+// pre-index manifest (no v/index fields — what old manifest.jsonl lines
+// hold) must match every switch and every flow, so legacy segments are
+// decoded rather than wrongly skipped.
+func TestSegmentManifestLegacyConservative(t *testing.T) {
+	var m SegmentManifest
+	if err := json.Unmarshal([]byte(`{"epochs":{"lo":3,"hi":9},"flows":17,"bytes":4096}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.V != 0 {
+		t.Fatalf("legacy manifest parsed with V = %d", m.V)
+	}
+	if !m.MayContainSwitch(12345) {
+		t.Fatal("legacy manifest excluded a switch")
+	}
+	if !m.MayContainFlow(netsim.FlowKey{Src: netsim.IP(1, 2, 3, 4), SrcPort: 9}) {
+		t.Fatal("legacy manifest excluded a flow")
+	}
+	if !m.MayContainAnyFlow([]netsim.FlowKey{{}}) {
+		t.Fatal("legacy manifest excluded the zero flow")
+	}
+}
+
+// TestFlowBloomJSONRejectsGarbage pins the unmarshal guards.
+func TestFlowBloomJSONRejectsGarbage(t *testing.T) {
+	var b FlowBloom
+	if err := json.Unmarshal([]byte(`{"k":0,"bits":""}`), &b); err == nil {
+		t.Fatal("zero probe count accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"k":7,"bits":"!!!"}`), &b); err == nil {
+		t.Fatal("invalid base64 accepted")
+	}
+}

@@ -45,36 +45,35 @@ type Retention struct {
 	Cold ColdStore
 }
 
-// SegmentManifest is the tiny per-segment index persisted alongside every
-// evicted segment: enough for a cold read-back to decide whether a segment
-// can possibly answer an epoch-windowed query WITHOUT decoding it.
-type SegmentManifest struct {
-	// Epochs is the union of the evicted records' per-switch epoch ranges —
-	// a segment whose Epochs does not overlap a query window holds no
-	// matching record.
-	Epochs simtime.EpochRange `json:"epochs"`
-	// Flows is the number of records in the segment.
-	Flows int `json:"flows"`
-	// Bytes is the encoded segment size.
-	Bytes int `json:"bytes"`
-}
-
 // ColdStore is the write half of the indexed eviction path: it persists one
-// encoded segment together with its manifest. WriteSegment owns payload
-// after the call returns.
+// encoded segment together with its manifest (see SegmentManifest in
+// manifest.go). WriteSegment owns payload after the call returns.
 type ColdStore interface {
 	WriteSegment(m SegmentManifest, payload []byte) error
 }
 
 // ColdReader is the read-back seam over flushed segments: host agents
-// consult it when a query's epoch window reaches past the hot window.
-// Manifests returns every stored segment's manifest in write (eviction)
-// order; ReadSegment decodes segment i and calls fn for each of its records
-// (the records are owned by the caller). Implementations must be safe for
-// concurrent use with WriteSegment and with each other.
+// consult it when a query's epoch window reaches past the hot window. View
+// returns a stable point-in-time view of the log — safe to walk while
+// eviction sweeps append, a compactor rewrites, or tiering retires
+// segments underneath it. Implementations must make View allocation-free
+// at steady state (the per-round index walk is a hot path).
 type ColdReader interface {
-	Manifests() []SegmentManifest
+	View() ColdView
+}
+
+// ColdView is one consistent snapshot of a cold store's segments. Indexes
+// are positions within THIS view (they survive concurrent rewrites of the
+// underlying log). Manifest returns a read-only pointer; ReadSegment
+// decodes segment i and calls fn for each of its records (the records are
+// owned by the caller), returning an error wrapping ErrTiered when the
+// segment's payload was tiered out. Close releases the view — the view and
+// any manifest pointers obtained from it must not be used afterwards.
+type ColdView interface {
+	Len() int
+	Manifest(i int) *SegmentManifest
 	ReadSegment(i int, fn func(*flowrec.Record)) error
+	Close()
 }
 
 // retention is the store-side policy state; maintMu serializes Maintain
@@ -208,38 +207,13 @@ func (st *RecordStore) Maintain(now simtime.Time) (int, error) {
 		if err := EncodeSegment(&buf, victims); err != nil {
 			return len(victims), err
 		}
-		m := manifestOf(victims)
+		m := NewSegmentManifest(victims)
 		m.Bytes = buf.Len()
 		if err := cfg.Cold.WriteSegment(m, buf.Bytes()); err != nil {
 			return len(victims), fmt.Errorf("store: eviction segment: %w", err)
 		}
 	}
 	return len(victims), nil
-}
-
-// manifestOf indexes one eviction segment: the union of the victims'
-// per-switch epoch ranges (and their exact-epoch accounting, so untagged
-// flows stay addressable) plus the record count.
-func manifestOf(victims []*flowrec.Record) SegmentManifest {
-	m := SegmentManifest{Flows: len(victims)}
-	first := true
-	widen := func(er simtime.EpochRange) {
-		if first {
-			m.Epochs = er
-			first = false
-			return
-		}
-		m.Epochs = m.Epochs.Union(er)
-	}
-	for _, r := range victims {
-		for _, er := range r.Epochs {
-			widen(er)
-		}
-		for e := range r.EpochBytes {
-			widen(simtime.EpochRange{Lo: e, Hi: e})
-		}
-	}
-	return m
 }
 
 // removeLocked evicts one record from its (write-locked) shard: the record
