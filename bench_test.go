@@ -141,6 +141,20 @@ func BenchmarkFig10bBandwidth(b *testing.B) {
 	b.ReportMetric(cell(b, res, 0, 0, 2), "bw_Mbps_n1M_a10_k1")
 }
 
+// BenchmarkPointerBackends regenerates the pointer slot-backend ablation:
+// adaptive/dense/bloom resident memory, push bytes, and candidate accuracy
+// on the sparse 4096-active-host workload at n = 100K and 1M. The run
+// itself enforces the gates (adaptive byte-identical to dense, zero bloom
+// false negatives, ≥10× resident reduction at 1M, constant bloom memory).
+func BenchmarkPointerBackends(b *testing.B) {
+	res := runExperiment(b, experiments.AblationPointerMemory)
+	b.ReportMetric(cell(b, res, 0, 3, 2), "dense_res_B_n1M")
+	b.ReportMetric(cell(b, res, 0, 4, 2), "adaptive_res_B_n1M")
+	b.ReportMetric(cell(b, res, 1, 0, 1), "res_ratio_n1M")
+	b.ReportMetric(cell(b, res, 1, 1, 1), "bloom_mem_B")
+	b.ReportMetric(cell(b, res, 0, 5, 6), "bloom_fp_n1M")
+}
+
 // BenchmarkFig11Recycling regenerates Figure 11: pointer recycling periods.
 func BenchmarkFig11Recycling(b *testing.B) {
 	res := runExperiment(b, experiments.Fig11)

@@ -7,6 +7,7 @@ import (
 	"switchpointer/internal/analyzer"
 	"switchpointer/internal/hostagent"
 	"switchpointer/internal/netsim"
+	"switchpointer/internal/pointer"
 	"switchpointer/internal/scenario"
 	"switchpointer/internal/simtime"
 )
@@ -47,6 +48,20 @@ func ScenarioNames() []string {
 // loadimbalance/topk (≤0 selects 16). The same (name, m, n) always yields
 // the same testbed state at the horizon.
 func BuildScenario(name string, m, n int) (*Scenario, error) {
+	return BuildScenarioBackend(name, m, n, pointer.BackendAdaptive)
+}
+
+// BuildScenarioBackend is BuildScenario with an explicit pointer-slot
+// backend on every switch. Exact backends (adaptive, dense) reproduce
+// identical diagnosis reports; the bloom backend reproduces identical
+// culprit sets with the extra false-positive fan-out charged on the clock.
+func BuildScenarioBackend(name string, m, n int, be pointer.Backend) (*Scenario, error) {
+	return BuildScenarioOpt(name, m, n, scenario.Options{PointerBackend: be})
+}
+
+// BuildScenarioOpt is the general form: testbed options are threaded into
+// the named scenario's builder (its own workload knobs still win).
+func BuildScenarioOpt(name string, m, n int, opt scenario.Options) (*Scenario, error) {
 	if m <= 0 {
 		m = 8
 	}
@@ -55,28 +70,28 @@ func BuildScenario(name string, m, n int) (*Scenario, error) {
 	}
 	switch name {
 	case "priority", "microburst":
-		s, err := scenario.NewTooMuchTraffic(scenario.TooMuchTrafficConfig{M: m, Microburst: name == "microburst"})
+		s, err := scenario.NewTooMuchTraffic(scenario.TooMuchTrafficConfig{M: m, Microburst: name == "microburst", Opt: opt})
 		if err != nil {
 			return nil, err
 		}
 		return &Scenario{Name: name, Testbed: s.Testbed, Horizon: 110 * simtime.Millisecond,
 			victim: s.Victim, kind: "contention"}, nil
 	case "redlights":
-		s, err := scenario.NewRedLights(scenario.Options{})
+		s, err := scenario.NewRedLights(opt)
 		if err != nil {
 			return nil, err
 		}
 		return &Scenario{Name: name, Testbed: s.Testbed, Horizon: 30 * simtime.Millisecond,
 			victim: s.Victim, kind: "red-lights"}, nil
 	case "cascade":
-		s, err := scenario.NewCascades(true, scenario.Options{})
+		s, err := scenario.NewCascades(true, opt)
 		if err != nil {
 			return nil, err
 		}
 		return &Scenario{Name: name, Testbed: s.Testbed, Horizon: 60 * simtime.Millisecond,
 			victim: s.FlowCE, kind: "cascade"}, nil
 	case "loadimbalance":
-		s, err := scenario.NewLoadImbalance(n, scenario.Options{})
+		s, err := scenario.NewLoadImbalance(n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +100,7 @@ func BuildScenario(name string, m, n int) (*Scenario, error) {
 			SwitchName: s.Suspect.NodeName(),
 			suspect:    s.Suspect.NodeID(), kind: "load-imbalance"}, nil
 	case "topk":
-		s, err := scenario.NewTopKWorkload(n, 96, scenario.Options{})
+		s, err := scenario.NewTopKWorkload(n, 96, opt)
 		if err != nil {
 			return nil, err
 		}

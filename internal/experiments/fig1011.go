@@ -57,10 +57,14 @@ func Fig10a() (*Result, error) {
 	for k := 1; k <= 5; k++ {
 		row := []string{fmt.Sprintf("%d", k)}
 		for _, g := range fig10Grid {
+			// The paper's Fig 10 curves are the dense layout's provisioned
+			// memory; pin the oracle backend so the frozen metrics track it
+			// (the adaptive/bloom tradeoff has its own ablation).
 			s, err := pointer.New(pointer.Config{
 				Alpha:    simtime.Time(g.alpha) * simtime.Millisecond,
 				K:        k,
 				NumHosts: g.n,
+				Backend:  pointer.BackendDense,
 			}, nil)
 			if err != nil {
 				return nil, err
@@ -108,6 +112,7 @@ func Fig10b() (*Result, error) {
 				Alpha:    simtime.Time(g.alpha) * simtime.Millisecond,
 				K:        k,
 				NumHosts: g.n,
+				Backend:  pointer.BackendDense,
 			}, nil)
 			if err != nil {
 				return nil, err

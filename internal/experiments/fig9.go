@@ -63,7 +63,8 @@ func NewDatapathBench() (*DatapathBench, error) {
 	}
 	for _, k := range []int{1, 5} {
 		ptr, err := pointer.New(pointer.Config{
-			Alpha: 10 * simtime.Millisecond, K: k, NumHosts: benchHosts}, nil)
+			Alpha: 10 * simtime.Millisecond, K: k, NumHosts: benchHosts,
+			Backend: pointer.BackendDense}, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -5,16 +5,21 @@
 //
 // Geometry, for epoch size α (in ms) and k levels:
 //
-//   - level h (1 ≤ h < k) holds α slots; each slot is a bitmap over end-hosts
-//     covering α^(h−1) consecutive epochs (α^h ms). The α slots at level 1
-//     give per-epoch resolution over the last α epochs.
+//   - level h (1 ≤ h < k) holds α slots; each slot is a pointer set over
+//     end-hosts covering α^(h−1) consecutive epochs (α^h ms). The α slots at
+//     level 1 give per-epoch resolution over the last α epochs.
 //   - level k (top) holds a single slot covering α^(k−1) epochs (α^k ms);
 //     when it seals it is pushed to the control plane for persistent storage.
 //
-// Total switch memory is therefore (α·(k−1)+1)·S bits for pointer sets of S
-// bits, and the data-plane→control-plane bandwidth is S·10³/α^k bps — the
-// tradeoff curves of Fig 10. A slot at level h is recycled (α−1)·α^h ms after
-// it seals (Fig 11).
+// For the dense backend, total switch memory is (α·(k−1)+1)·S bits for
+// pointer sets of S bits, and the data-plane→control-plane bandwidth is
+// S·10³/α^k bps — the tradeoff curves of Fig 10. A slot at level h is
+// recycled (α−1)·α^h ms after it seals (Fig 11).
+//
+// What a slot stores is a pluggable Backend: the exact-dense bitmap above
+// (the oracle), an exact-adaptive container whose cost follows occupancy, or
+// a constant-memory bloom sketch with one-sided error. Slots allocate
+// lazily — an idle switch holds ring bookkeeping, not bitmaps.
 //
 // The data plane performs ONE minimal-perfect-hash operation per packet
 // (done by the caller) and then sets the same bit index in the current slot
@@ -37,9 +42,19 @@ type Config struct {
 	Alpha simtime.Time
 	// K is the number of hierarchy levels (the paper evaluates 1–5).
 	K int
-	// NumHosts is the maximum number of end-hosts (bitmap width, the
-	// paper's n: 100 K or 1 M in §6.1).
+	// NumHosts is the maximum number of end-hosts (pointer-set universe,
+	// the paper's n: 100 K or 1 M in §6.1).
 	NumHosts int
+
+	// Backend selects the slot-set implementation. The zero value is
+	// BackendAdaptive; BackendDense is the paper's layout and the exactness
+	// oracle; BackendBloom trades one-sided error for O(1) slot memory.
+	Backend Backend
+	// BloomBits and BloomHashes parameterize BackendBloom slots (zero
+	// selects 16384 bits / 4 hashes). Setting either with a non-bloom
+	// backend is rejected rather than silently ignored.
+	BloomBits   int
+	BloomHashes int
 }
 
 // Validate checks the configuration.
@@ -56,7 +71,33 @@ func (c Config) Validate() error {
 	if c.NumHosts < 1 {
 		return fmt.Errorf("pointer: NumHosts must be ≥ 1, got %d", c.NumHosts)
 	}
+	switch c.Backend {
+	case BackendAdaptive, BackendDense, BackendBloom:
+	default:
+		return fmt.Errorf("pointer: unknown backend %d", int(c.Backend))
+	}
+	if c.Backend != BackendBloom && (c.BloomBits != 0 || c.BloomHashes != 0) {
+		return fmt.Errorf("pointer: BloomBits/BloomHashes set with %s backend (they would be inert)", c.Backend)
+	}
+	if c.BloomBits < 0 || (c.BloomBits > 0 && c.BloomBits < 8) {
+		return fmt.Errorf("pointer: BloomBits must be ≥ 8, got %d", c.BloomBits)
+	}
+	if c.BloomHashes < 0 || c.BloomHashes > 16 {
+		return fmt.Errorf("pointer: BloomHashes must be in [1,16], got %d", c.BloomHashes)
+	}
 	return nil
+}
+
+// bloomParams resolves the bloom filter geometry, applying defaults.
+func (c Config) bloomParams() (m, k int) {
+	m, k = c.BloomBits, c.BloomHashes
+	if m == 0 {
+		m = defaultBloomBits
+	}
+	if k == 0 {
+		k = defaultBloomHashes
+	}
+	return m, k
 }
 
 // AlphaScalar returns α as the paper's dimensionless scalar: the number of
@@ -72,15 +113,28 @@ func (c Config) AlphaScalar() int {
 	return a
 }
 
-// Slot is one pointer set: a bitmap over end-host indices covering a window
-// of epochs.
+// Slot is one materialized pointer set: a bitmap over end-host indices
+// covering a window of epochs. It is the exported snapshot form used for
+// pulls, pushes, and the control store; the live structure holds backend
+// containers, not Slots.
 type Slot struct {
 	Level  int                // 1-based; K is the top
 	Epochs simtime.EpochRange // aligned window this slot covers
 	Bits   *bitset.Set
 	Sealed bool // true once its window has fully elapsed
+	// Approx marks a sketch-backed slot: Bits is a superset of the touched
+	// hosts (false positives possible, never false negatives).
+	Approx bool
+}
 
-	used bool // window assigned (internal ring bookkeeping)
+// liveSlot is the in-structure slot: ring bookkeeping plus a lazily
+// allocated backend container (nil until the first touch).
+type liveSlot struct {
+	level  int
+	epochs simtime.EpochRange
+	sealed bool
+	used   bool // window assigned (internal ring bookkeeping)
+	set    slotSet
 }
 
 // PushFunc receives sealed top-level slots for persistent storage. The slot
@@ -95,7 +149,7 @@ type Structure struct {
 	alpha int // slots per level / branching factor
 
 	// levels[h-1] is the ring of slots at level h; top level has 1 slot.
-	levels [][]*Slot
+	levels [][]*liveSlot
 	cur    []int // current slot index per level
 
 	epoch       simtime.Epoch // current epoch (last Advance)
@@ -109,7 +163,10 @@ type Structure struct {
 	spanEpochs []int64
 }
 
-// New builds the structure. onPush may be nil.
+// New builds the structure. onPush may be nil. Slot containers are NOT
+// allocated here: each slot's backend is built on its first Touch, so a
+// structure over a million-host universe costs ring bookkeeping until
+// traffic arrives.
 func New(cfg Config, onPush PushFunc) (*Structure, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -119,7 +176,7 @@ func New(cfg Config, onPush PushFunc) (*Structure, error) {
 		alpha:  cfg.AlphaScalar(),
 		onPush: onPush,
 	}
-	s.levels = make([][]*Slot, cfg.K)
+	s.levels = make([][]*liveSlot, cfg.K)
 	s.cur = make([]int, cfg.K)
 	s.spanEpochs = make([]int64, cfg.K)
 	span := int64(1)
@@ -128,9 +185,9 @@ func New(cfg Config, onPush PushFunc) (*Structure, error) {
 		if h == cfg.K {
 			nSlots = 1
 		}
-		ring := make([]*Slot, nSlots)
+		ring := make([]*liveSlot, nSlots)
 		for i := range ring {
-			ring[i] = &Slot{Level: h, Bits: bitset.New(cfg.NumHosts)}
+			ring[i] = &liveSlot{level: h}
 		}
 		s.levels[h-1] = ring
 		s.spanEpochs[h-1] = span
@@ -152,7 +209,9 @@ func (s *Structure) CurrentEpoch() simtime.Epoch { return s.epoch }
 func (s *Structure) Touches() uint64 { return s.touches }
 
 // Pushes returns how many top-level slots have been pushed, and the total
-// bytes shipped to the control plane.
+// encoded bytes shipped to the control plane (backend-honest: occupancy-
+// proportional for adaptive slots, constant for bloom, full width for
+// dense).
 func (s *Structure) Pushes() (count, bytes uint64) { return s.pushes, s.pushedBytes }
 
 // slotWindow returns the aligned epoch window of the slot containing epoch e
@@ -180,7 +239,7 @@ func (s *Structure) Advance(e simtime.Epoch) {
 		s.epoch = e
 		for h := 1; h <= s.cfg.K; h++ {
 			cur := s.currentSlot(h)
-			cur.Epochs = s.slotWindow(h, e)
+			cur.epochs = s.slotWindow(h, e)
 			cur.used = true
 		}
 		return
@@ -189,50 +248,101 @@ func (s *Structure) Advance(e simtime.Epoch) {
 		next := s.epoch + 1
 		for h := 1; h <= s.cfg.K; h++ {
 			cur := s.currentSlot(h)
-			if next <= cur.Epochs.Hi {
+			if next <= cur.epochs.Hi {
 				continue // window still open
 			}
-			cur.Sealed = true
+			cur.sealed = true
 			if h == s.cfg.K {
 				s.push(cur)
 			}
-			// Rotate to the next slot in the ring and recycle it.
+			// Rotate to the next slot in the ring and recycle it. An
+			// allocated container is cleared in place (O(occupancy) for the
+			// adaptive backend); an untouched slot stays unallocated.
 			ring := s.levels[h-1]
 			s.cur[h-1] = (s.cur[h-1] + 1) % len(ring)
 			slot := ring[s.cur[h-1]]
-			slot.Bits.Reset()
-			slot.Sealed = false
-			slot.Epochs = s.slotWindow(h, next)
+			if slot.set != nil {
+				slot.set.reset()
+			}
+			slot.sealed = false
+			slot.epochs = s.slotWindow(h, next)
 			slot.used = true
 		}
 	}
 }
 
-func (s *Structure) currentSlot(h int) *Slot { return s.levels[h-1][s.cur[h-1]] }
+func (s *Structure) currentSlot(h int) *liveSlot { return s.levels[h-1][s.cur[h-1]] }
 
-func (s *Structure) push(slot *Slot) {
+// materialize expands a live slot into the exported bitmap form. For exact
+// backends this is the touched set; for sketches it is the candidate
+// superset.
+func (s *Structure) materialize(sl *liveSlot) *bitset.Set {
+	out := bitset.New(s.cfg.NumHosts)
+	if sl.set != nil {
+		sl.set.addTo(out)
+	}
+	return out
+}
+
+// slotExact reports whether a live slot's materialized form is exact.
+func slotExact(sl *liveSlot) bool { return sl.set == nil || sl.set.exact() }
+
+// slotEncodedBytes is the wire size of one slot: the push/pull unit of the
+// bandwidth accounting. An untouched slot still ships its backend's empty
+// encoding — full width for dense (the paper's fixed S-bit push), the
+// constant filter for bloom, a bare header for adaptive.
+func (s *Structure) slotEncodedBytes(sl *liveSlot) int {
+	if sl.set != nil {
+		return sl.set.encodedBytes()
+	}
+	switch s.cfg.Backend {
+	case BackendDense:
+		return 8 + s.denseSlotBytes()
+	case BackendBloom:
+		return 16 + 8 + s.bloomSlotBytes()
+	default:
+		return 16 // empty sparse header
+	}
+}
+
+// denseSlotBytes is the word-padded width of one dense pointer set.
+func (s *Structure) denseSlotBytes() int { return (s.cfg.NumHosts + 63) / 64 * 8 }
+
+// bloomSlotBytes is the word-padded width of one bloom filter.
+func (s *Structure) bloomSlotBytes() int {
+	m, _ := s.cfg.bloomParams()
+	return (m + 63) / 64 * 8
+}
+
+func (s *Structure) push(slot *liveSlot) {
 	s.pushes++
-	s.pushedBytes += uint64(slot.Bits.SizeBytes())
+	s.pushedBytes += uint64(s.slotEncodedBytes(slot))
 	if s.onPush != nil {
 		s.onPush(Slot{
-			Level:  slot.Level,
-			Epochs: slot.Epochs,
-			Bits:   slot.Bits.Clone(),
+			Level:  slot.level,
+			Epochs: slot.epochs,
+			Bits:   s.materialize(slot),
 			Sealed: true,
+			Approx: !slotExact(slot),
 		})
 	}
 }
 
 // Touch records a packet to the end-host with MPH index idx: one bit set in
 // the current slot of every level. The caller has already done the single
-// hash operation; this is the k-way parallel bit write of §4.1.2.
+// hash operation; this is the k-way parallel bit write of §4.1.2. A slot's
+// backend container is allocated on its first touch.
 func (s *Structure) Touch(idx int) {
 	if !s.started {
 		panic("pointer: Touch before first Advance")
 	}
 	s.touches++
 	for h := 1; h <= s.cfg.K; h++ {
-		s.currentSlot(h).Bits.Set(idx)
+		slot := s.currentSlot(h)
+		if slot.set == nil {
+			slot.set = s.newSet()
+		}
+		slot.set.add(idx)
 	}
 }
 
@@ -246,8 +356,13 @@ type QueryResult struct {
 	// whole requested range. When false the caller should fall back to the
 	// control plane's pushed history.
 	Covered bool
-	// SlotsCopiedBytes models the pull-bandwidth cost of the query.
+	// SlotsCopiedBytes models the pull-bandwidth cost of the query: the
+	// encoded size of every consulted slot.
 	SlotsCopiedBytes int
+	// Exact is true when the returned set is exactly the touched hosts;
+	// false when any consulted slot is sketch-backed, making the set a
+	// superset (candidates, never missing a touched host).
+	Exact bool
 }
 
 // Query returns the union of end-host bits for all epochs in r, using the
@@ -256,27 +371,31 @@ type QueryResult struct {
 func (s *Structure) Query(r simtime.EpochRange) (*bitset.Set, QueryResult) {
 	out := bitset.New(s.cfg.NumHosts)
 	if r.Len() == 0 {
-		return out, QueryResult{Covered: true}
+		return out, QueryResult{Covered: true, Exact: true}
 	}
-	var best QueryResult
+	best := QueryResult{Exact: true}
 	for h := 1; h <= s.cfg.K; h++ {
 		hits := 0
 		bytes := 0
+		exact := true
 		coveredLo := simtime.Epoch(1 << 62)
 		coveredHi := simtime.Epoch(-(1 << 62))
 		tmp := bitset.New(s.cfg.NumHosts)
 		for _, slot := range s.levels[h-1] {
-			if !slot.used || !slot.Epochs.Overlaps(r) {
+			if !slot.used || !slot.epochs.Overlaps(r) {
 				continue
 			}
 			hits++
-			bytes += slot.Bits.SizeBytes()
-			tmp.UnionWith(slot.Bits)
-			if slot.Epochs.Lo < coveredLo {
-				coveredLo = slot.Epochs.Lo
+			bytes += s.slotEncodedBytes(slot)
+			if slot.set != nil {
+				slot.set.addTo(tmp)
 			}
-			if slot.Epochs.Hi > coveredHi {
-				coveredHi = slot.Epochs.Hi
+			exact = exact && slotExact(slot)
+			if slot.epochs.Lo < coveredLo {
+				coveredLo = slot.epochs.Lo
+			}
+			if slot.epochs.Hi > coveredHi {
+				coveredHi = slot.epochs.Hi
 			}
 		}
 		if hits == 0 {
@@ -285,7 +404,7 @@ func (s *Structure) Query(r simtime.EpochRange) (*bitset.Set, QueryResult) {
 		// Live slots at one level are contiguous in time, so [lo,hi]
 		// coverage implies full coverage of the overlap.
 		covered := coveredLo <= r.Lo && coveredHi >= r.Hi
-		res := QueryResult{Level: h, Slots: hits, Covered: covered, SlotsCopiedBytes: bytes}
+		res := QueryResult{Level: h, Slots: hits, Covered: covered, SlotsCopiedBytes: bytes, Exact: exact}
 		if covered {
 			out.UnionWith(tmp)
 			return out, res
@@ -308,10 +427,16 @@ func (s *Structure) SlotsAt(h int, r simtime.EpochRange) []Slot {
 	}
 	var out []Slot
 	for _, slot := range s.levels[h-1] {
-		if !slot.used || !slot.Epochs.Overlaps(r) {
+		if !slot.used || !slot.epochs.Overlaps(r) {
 			continue
 		}
-		out = append(out, Slot{Level: h, Epochs: slot.Epochs, Bits: slot.Bits.Clone(), Sealed: slot.Sealed})
+		out = append(out, Slot{
+			Level:  h,
+			Epochs: slot.epochs,
+			Bits:   s.materialize(slot),
+			Sealed: slot.sealed,
+			Approx: !slotExact(slot),
+		})
 	}
 	// Ring order is rotation order; sort by window.
 	for i := 1; i < len(out); i++ {
@@ -322,23 +447,61 @@ func (s *Structure) SlotsAt(h int, r simtime.EpochRange) []Slot {
 	return out
 }
 
-// MemoryBytes returns the pointer-set memory of the structure:
-// (α·(k−1)+1)·S/8 bytes, the Fig 10(a) quantity (the MPH table is accounted
-// separately by the datapath that owns it).
+// MemoryBytes returns the structure's modeled (provisioned) pointer-set
+// memory — the Fig 10(a) quantity (the MPH table is accounted separately by
+// the datapath that owns it):
+//
+//   - dense: (α·(k−1)+1)·S/8 bytes — the paper's fixed layout, independent
+//     of lazy allocation, so the Fig 10 curves are stable.
+//   - bloom: (α·(k−1)+1)·m/8 bytes — constant in NumHosts.
+//   - adaptive: the resident footprint (its provisioning follows occupancy).
+//
+// Use ResidentBytes for the actually-allocated heap size of any backend.
 func (s *Structure) MemoryBytes() int {
+	switch s.cfg.Backend {
+	case BackendDense:
+		return s.totalSlots() * s.denseSlotBytes()
+	case BackendBloom:
+		return s.totalSlots() * s.bloomSlotBytes()
+	default:
+		return s.ResidentBytes()
+	}
+}
+
+// ResidentBytes returns the heap actually allocated by slot containers —
+// zero for a freshly built structure, occupancy-proportional for adaptive,
+// bounded by the modeled geometry for dense and bloom.
+func (s *Structure) ResidentBytes() int {
 	total := 0
 	for _, ring := range s.levels {
 		for _, slot := range ring {
-			total += slot.Bits.SizeBytes()
+			if slot.set != nil {
+				total += slot.set.memoryBytes()
+			}
 		}
 	}
 	return total
 }
 
-// PushBandwidthBps returns the steady-state data-plane→control-plane
-// bandwidth: one S-bit top slot every α^k ms, i.e. S·10³/α^k bps (Fig 10(b)).
+func (s *Structure) totalSlots() int {
+	total := 0
+	for _, ring := range s.levels {
+		total += len(ring)
+	}
+	return total
+}
+
+// PushBandwidthBps returns the modeled steady-state data-plane→control-plane
+// bandwidth: one top slot every α^k ms. For the exact backends the slot is
+// provisioned at S word-padded bits (S·10³/α^k bps, Fig 10(b) — adaptive's
+// actual pushes are smaller, see Pushes); for bloom it is the constant
+// m-bit filter.
 func (s *Structure) PushBandwidthBps() float64 {
-	sBits := float64(s.levels[s.cfg.K-1][0].Bits.SizeBytes() * 8)
+	width := s.denseSlotBytes()
+	if s.cfg.Backend == BackendBloom {
+		width = s.bloomSlotBytes()
+	}
+	sBits := float64(width * 8)
 	periodMs := float64(s.spanEpochs[s.cfg.K-1]) * s.cfg.Alpha.Milliseconds()
 	return sBits * 1000.0 / periodMs
 }
@@ -354,18 +517,27 @@ func (s *Structure) RecyclingPeriod(h int) simtime.Time {
 	return simtime.Time(int64(s.alpha-1)*s.spanEpochs[h-1]) * s.cfg.Alpha
 }
 
-// slotSnap is one slot's gob wire form (bits packed via MarshalBinary).
+// snapVersionTagged marks snapshots whose slots carry kind-tagged payloads.
+// Version 0 is the legacy wire form: every payload a dense bitset — which
+// kind 0 (slotKindDense) also names, so legacy slotSnaps (no Kind field)
+// gob-decode to the correct interpretation.
+const snapVersionTagged = 2
+
+// slotSnap is one slot's gob wire form: a kind-tagged payload (nil for an
+// untouched, unallocated slot).
 type slotSnap struct {
 	Epochs simtime.EpochRange
 	Bits   []byte
 	Sealed bool
 	Used   bool
+	Kind   byte
 }
 
 // structSnap is the Structure's gob wire form — the state-sync snapshot a
 // replica switch agent restores so its pointer pulls answer byte-identically
 // to the source's.
 type structSnap struct {
+	Version  int
 	Alpha    simtime.Time
 	K        int
 	NumHosts int
@@ -380,10 +552,11 @@ type structSnap struct {
 }
 
 // Snapshot serializes the structure's complete live state: every slot of
-// every level (window, bitmap, sealed/used flags), the ring positions, the
-// current epoch, and the touch/push accounting.
+// every level (window, kind-tagged set payload, sealed/used flags), the
+// ring positions, the current epoch, and the touch/push accounting.
 func (s *Structure) Snapshot() ([]byte, error) {
 	snap := structSnap{
+		Version:     snapVersionTagged,
 		Alpha:       s.cfg.Alpha,
 		K:           s.cfg.K,
 		NumHosts:    s.cfg.NumHosts,
@@ -398,11 +571,11 @@ func (s *Structure) Snapshot() ([]byte, error) {
 	for h, ring := range s.levels {
 		snap.Levels[h] = make([]slotSnap, len(ring))
 		for i, slot := range ring {
-			bits, err := slot.Bits.MarshalBinary()
-			if err != nil {
-				return nil, fmt.Errorf("pointer: snapshot: %w", err)
+			ss := slotSnap{Epochs: slot.epochs, Sealed: slot.sealed, Used: slot.used, Kind: slotKindDense}
+			if slot.set != nil {
+				ss.Kind, ss.Bits = slot.set.encode()
 			}
-			snap.Levels[h][i] = slotSnap{Epochs: slot.Epochs, Bits: bits, Sealed: slot.Sealed, Used: slot.used}
+			snap.Levels[h][i] = ss
 		}
 	}
 	var buf bytes.Buffer
@@ -414,8 +587,13 @@ func (s *Structure) Snapshot() ([]byte, error) {
 
 // Restore replaces the structure's live state with a Snapshot taken from a
 // structure of identical geometry (same Alpha, K, NumHosts); a geometry
-// mismatch is rejected, since slot windows and bitmap widths would not line
-// up. Epoch monotonicity continues from the restored epoch.
+// mismatch is rejected, since slot windows and universe widths would not
+// line up. The BACKEND need not match: exact slot payloads (dense or
+// sparse) restore into any backend by re-inserting their members — a legacy
+// all-dense snapshot restores everywhere — while a bloom payload restores
+// only into a bloom structure with identical filter parameters (the member
+// list cannot be recovered from a sketch). Epoch monotonicity continues
+// from the restored epoch.
 func (s *Structure) Restore(b []byte) error {
 	var snap structSnap
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
@@ -436,14 +614,26 @@ func (s *Structure) Restore(b []byte) error {
 			return fmt.Errorf("pointer: restore: level %d ring position %d out of range", h+1, snap.Cur[h])
 		}
 	}
+	// Decode every payload before mutating any slot, so a bad snapshot
+	// leaves the structure untouched.
+	sets := make([][]slotSet, len(s.levels))
+	for h, ring := range s.levels {
+		sets[h] = make([]slotSet, len(ring))
+		for i := range ring {
+			ss := snap.Levels[h][i]
+			set, err := s.restorePayload(ss.Kind, ss.Bits)
+			if err != nil {
+				return fmt.Errorf("pointer: restore: level %d slot %d: %w", h+1, i, err)
+			}
+			sets[h][i] = set
+		}
+	}
 	for h, ring := range s.levels {
 		for i, slot := range ring {
 			ss := snap.Levels[h][i]
-			if err := slot.Bits.UnmarshalBinary(ss.Bits); err != nil {
-				return fmt.Errorf("pointer: restore: level %d slot %d: %w", h+1, i, err)
-			}
-			slot.Epochs = ss.Epochs
-			slot.Sealed = ss.Sealed
+			slot.set = sets[h][i]
+			slot.epochs = ss.Epochs
+			slot.sealed = ss.Sealed
 			slot.used = ss.Used
 		}
 	}
@@ -458,12 +648,15 @@ func (s *Structure) Restore(b []byte) error {
 
 // slotWire is one exported Slot's gob wire form (EncodeSlots/DecodeSlots):
 // the control-store history a state-sync snapshot carries next to the live
-// structure.
+// structure. Slots are materialized bitmaps here regardless of backend;
+// Approx rides along so candidate semantics survive the wire (absent in
+// legacy encodings, decoding as exact — which legacy slots were).
 type slotWire struct {
 	Level  int
 	Epochs simtime.EpochRange
 	Bits   []byte
 	Sealed bool
+	Approx bool
 }
 
 // EncodeSlots serializes a slot list (typically a switch agent's control
@@ -475,7 +668,7 @@ func EncodeSlots(slots []Slot) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pointer: encode slots: %w", err)
 		}
-		wire[i] = slotWire{Level: s.Level, Epochs: s.Epochs, Bits: bits, Sealed: s.Sealed}
+		wire[i] = slotWire{Level: s.Level, Epochs: s.Epochs, Bits: bits, Sealed: s.Sealed, Approx: s.Approx}
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
@@ -496,7 +689,7 @@ func DecodeSlots(b []byte) ([]Slot, error) {
 		if err := bits.UnmarshalBinary(w.Bits); err != nil {
 			return nil, fmt.Errorf("pointer: decode slots: %w", err)
 		}
-		slots[i] = Slot{Level: w.Level, Epochs: w.Epochs, Bits: &bits, Sealed: w.Sealed}
+		slots[i] = Slot{Level: w.Level, Epochs: w.Epochs, Bits: &bits, Sealed: w.Sealed, Approx: w.Approx}
 	}
 	return slots, nil
 }

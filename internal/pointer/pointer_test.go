@@ -25,6 +25,12 @@ func TestConfigValidate(t *testing.T) {
 		{Alpha: simtime.Millisecond, K: 0, NumHosts: 1},
 		{Alpha: simtime.Millisecond, K: 10, NumHosts: 1},
 		{Alpha: simtime.Millisecond, K: 1, NumHosts: 0},
+		{Alpha: simtime.Millisecond, K: 1, NumHosts: 1, Backend: Backend(99)},
+		// Bloom knobs with a non-bloom backend would be silently inert.
+		{Alpha: simtime.Millisecond, K: 1, NumHosts: 1, BloomBits: 1024},
+		{Alpha: simtime.Millisecond, K: 1, NumHosts: 1, Backend: BackendDense, BloomHashes: 3},
+		{Alpha: simtime.Millisecond, K: 1, NumHosts: 1, Backend: BackendBloom, BloomBits: 4},
+		{Alpha: simtime.Millisecond, K: 1, NumHosts: 1, Backend: BackendBloom, BloomHashes: 99},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -62,7 +68,7 @@ func TestMemoryAccounting(t *testing.T) {
 	// n=100K, α=10, k=3: paper quotes 3.45 MB total with the MPH; the
 	// pointer sets alone are (10·2+1)·12.5KB = 262.5 KB... for n=1M:
 	// (10·2+1)·125KB = 2.625 MB. Check against the closed form.
-	s := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: 100000}, nil)
+	s := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: 100000, Backend: BackendDense}, nil)
 	sBits := 12504 * 8 // ceil(100000/64) words
 	want := TheoreticalMemoryBits(10, 3, sBits) / 8
 	if got := int64(s.MemoryBytes()); got != want {
@@ -72,7 +78,7 @@ func TestMemoryAccounting(t *testing.T) {
 
 func TestBandwidthAccounting(t *testing.T) {
 	// n=1M, α=10, k=1 → S=1Mbit pushed every 10ms = 100 Mbps (Fig 10b).
-	s := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 1, NumHosts: 1000000}, nil)
+	s := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 1, NumHosts: 1000000, Backend: BackendDense}, nil)
 	got := s.PushBandwidthBps()
 	sBits := float64(((1000000 + 63) / 64) * 64) // padded to words
 	want := sBits * 1000 / 10
@@ -80,7 +86,7 @@ func TestBandwidthAccounting(t *testing.T) {
 		t.Fatalf("PushBandwidthBps = %g, want %g", got, want)
 	}
 	// k=2 divides by another factor of 10.
-	s2 := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 2, NumHosts: 1000000}, nil)
+	s2 := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 2, NumHosts: 1000000, Backend: BackendDense}, nil)
 	if s2.PushBandwidthBps() != want/10 {
 		t.Fatalf("k=2 bandwidth = %g, want %g", s2.PushBandwidthBps(), want/10)
 	}
@@ -125,12 +131,59 @@ func TestTouchSetsAllLevels(t *testing.T) {
 	s.Advance(0)
 	s.Touch(7)
 	for h := 1; h <= 3; h++ {
-		if !s.currentSlot(h).Bits.Get(7) {
+		slots := s.SlotsAt(h, simtime.EpochRange{Lo: 0, Hi: 0})
+		if len(slots) != 1 || !slots[0].Bits.Get(7) {
 			t.Fatalf("level %d missing bit", h)
 		}
 	}
 	if s.Touches() != 1 {
 		t.Fatalf("Touches = %d", s.Touches())
+	}
+}
+
+func TestLazyAllocation(t *testing.T) {
+	for _, be := range []Backend{BackendAdaptive, BackendDense, BackendBloom} {
+		cfg := cfg10x3(100000)
+		cfg.Backend = be
+		s := mustNew(t, cfg, nil)
+		s.Advance(0)
+		if got := s.ResidentBytes(); got != 0 {
+			t.Fatalf("%s: idle structure resident = %d, want 0", be, got)
+		}
+		s.Touch(42)
+		// One touch allocates the current slot of each level, nothing else.
+		if got := s.ResidentBytes(); got == 0 {
+			t.Fatalf("%s: touched structure resident = 0", be)
+		}
+		if be == BackendAdaptive {
+			if got := s.ResidentBytes(); got > 1024 {
+				t.Fatalf("adaptive: one touch resident = %d, want ~KBs", got)
+			}
+		}
+	}
+}
+
+func TestAdaptivePromotionMatchesDense(t *testing.T) {
+	// Drive one slot far past the density threshold and check membership
+	// against the dense oracle across the promotion boundary.
+	cfgA := cfg10x3(512)
+	cfgD := cfg10x3(512)
+	cfgD.Backend = BackendDense
+	a := mustNew(t, cfgA, nil)
+	d := mustNew(t, cfgD, nil)
+	a.Advance(0)
+	d.Advance(0)
+	for i := 0; i < 512; i += 2 {
+		a.Touch(i)
+		d.Touch(i)
+	}
+	ba, ra := a.Query(simtime.EpochRange{Lo: 0, Hi: 0})
+	bd, rd := d.Query(simtime.EpochRange{Lo: 0, Hi: 0})
+	if !ba.Equal(bd) {
+		t.Fatalf("adaptive diverged from dense after promotion")
+	}
+	if !ra.Exact || !rd.Exact {
+		t.Fatalf("exact backends reported approximate results: %+v %+v", ra, rd)
 	}
 }
 
@@ -269,7 +322,7 @@ func TestPushCadence(t *testing.T) {
 
 func TestK1SingleLevel(t *testing.T) {
 	var pushes int
-	s := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 1, NumHosts: 16},
+	s := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 1, NumHosts: 16, Backend: BackendDense},
 		func(Slot) { pushes++ })
 	s.Advance(0)
 	s.Touch(3)

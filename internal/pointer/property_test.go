@@ -1,6 +1,8 @@
 package pointer
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -164,6 +166,344 @@ func TestPropertyNoFalseHostsAtLevel1(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// driveLockstep applies one random touch/advance schedule to every structure
+// in ss, returning the final epoch. All structures see identical inputs, so
+// exact backends must end membership-identical.
+func driveLockstep(rng *rand.Rand, ops, hosts int, ss ...*Structure) simtime.Epoch {
+	for _, s := range ss {
+		s.Advance(0)
+	}
+	epoch := simtime.Epoch(0)
+	for op := 0; op < ops; op++ {
+		if rng.Intn(4) == 0 {
+			epoch += simtime.Epoch(rng.Intn(3))
+			for _, s := range ss {
+				s.Advance(epoch)
+			}
+		} else {
+			idx := rng.Intn(hosts)
+			for _, s := range ss {
+				s.Touch(idx)
+			}
+		}
+	}
+	return epoch
+}
+
+// TestPropertyAdaptiveMatchesDense is the tentpole's exactness gate: under
+// random touch/advance/seal/recycle schedules, the adaptive backend answers
+// every pull byte-identically to the dense oracle — same bits, same level,
+// same coverage — and both report Exact.
+func TestPropertyAdaptiveMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const hosts = 96
+		cfgD := Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: hosts, Backend: BackendDense}
+		cfgA := cfgD
+		cfgA.Backend = BackendAdaptive
+		d, err1 := New(cfgD, nil)
+		a, err2 := New(cfgA, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		epoch := driveLockstep(rng, 250, hosts, d, a)
+		for q := 0; q < 25; q++ {
+			lo := simtime.Epoch(rng.Intn(int(epoch) + 1))
+			r := simtime.EpochRange{Lo: lo, Hi: lo + simtime.Epoch(rng.Intn(6))}
+			bd, rd := d.Query(r)
+			ba, ra := a.Query(r)
+			if !bd.Equal(ba) {
+				return false
+			}
+			if rd.Level != ra.Level || rd.Covered != ra.Covered || rd.Slots != ra.Slots {
+				return false
+			}
+			if !rd.Exact || !ra.Exact {
+				return false
+			}
+			for h := 1; h <= 3; h++ {
+				sd, sa := d.SlotsAt(h, r), a.SlotsAt(h, r)
+				if len(sd) != len(sa) {
+					return false
+				}
+				for i := range sd {
+					if sd[i].Epochs != sa[i].Epochs || !sd[i].Bits.Equal(sa[i].Bits) || sa[i].Approx {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBloomSupersetAtEveryPull checks the sketch backend's one-sided
+// error contract: at every pull, the bloom candidate set contains every host
+// the dense oracle reports (zero false negatives), and any pull whose oracle
+// answer is non-empty is flagged inexact.
+func TestPropertyBloomSupersetAtEveryPull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const hosts = 256
+		cfgD := Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: hosts, Backend: BackendDense}
+		cfgB := cfgD
+		cfgB.Backend = BackendBloom
+		// Deliberately undersized filter so false positives actually occur.
+		cfgB.BloomBits = 128
+		cfgB.BloomHashes = 2
+		d, err1 := New(cfgD, nil)
+		b, err2 := New(cfgB, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		epoch := driveLockstep(rng, 250, hosts, d, b)
+		for q := 0; q < 25; q++ {
+			lo := simtime.Epoch(rng.Intn(int(epoch) + 1))
+			r := simtime.EpochRange{Lo: lo, Hi: lo + simtime.Epoch(rng.Intn(6))}
+			bd, rd := d.Query(r)
+			bb, rb := b.Query(r)
+			// Identical geometry → identical level/coverage decisions.
+			if rd.Level != rb.Level || rd.Covered != rb.Covered {
+				return false
+			}
+			miss := false
+			bd.ForEach(func(i int) bool {
+				if !bb.Get(i) {
+					miss = true
+					return false
+				}
+				return true
+			})
+			if miss {
+				return false // false negative: contract broken
+			}
+			if bd.Any() && rb.Exact {
+				return false // sketch-backed result must be flagged
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBloomFalsePositivesAreVisible pins the other side of the contract with
+// a fixed seed: an undersized filter does produce false positives, and they
+// surface as Approx/!Exact rather than silently.
+func TestBloomFalsePositivesAreVisible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const hosts = 4096
+	cfgD := Config{Alpha: 10 * simtime.Millisecond, K: 2, NumHosts: hosts, Backend: BackendDense}
+	cfgB := cfgD
+	cfgB.Backend = BackendBloom
+	cfgB.BloomBits = 128
+	cfgB.BloomHashes = 2
+	d := mustNew(t, cfgD, nil)
+	b := mustNew(t, cfgB, nil)
+	d.Advance(0)
+	b.Advance(0)
+	for i := 0; i < 100; i++ {
+		idx := rng.Intn(hosts)
+		d.Touch(idx)
+		b.Touch(idx)
+	}
+	r := simtime.EpochRange{Lo: 0, Hi: 0}
+	bd, _ := d.Query(r)
+	bb, rb := b.Query(r)
+	if rb.Exact {
+		t.Fatalf("bloom query claims exactness")
+	}
+	fp := 0
+	bb.ForEach(func(i int) bool {
+		if !bd.Get(i) {
+			fp++
+		}
+		return true
+	})
+	if fp == 0 {
+		t.Fatalf("128-bit filter with 100 members produced no false positives — test is vacuous")
+	}
+	slots := b.SlotsAt(1, r)
+	if len(slots) == 0 || !slots[0].Approx {
+		t.Fatalf("sketch-backed slot not marked Approx")
+	}
+}
+
+// TestSnapshotCrossBackendRestore: an exact snapshot restores into any
+// backend (the V2 wire carries kind-tagged payloads, and exact payloads
+// re-insert member-by-member), answering pulls identically afterward.
+func TestSnapshotCrossBackendRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const hosts = 200
+	mk := func(be Backend) *Structure {
+		cfg := Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: hosts, Backend: be}
+		return mustNew(t, cfg, nil)
+	}
+	for _, src := range []Backend{BackendDense, BackendAdaptive} {
+		for _, dst := range []Backend{BackendDense, BackendAdaptive} {
+			s := mk(src)
+			s.Advance(0)
+			epoch := simtime.Epoch(0)
+			for op := 0; op < 300; op++ {
+				if rng.Intn(4) == 0 {
+					epoch += simtime.Epoch(rng.Intn(2))
+					s.Advance(epoch)
+				} else {
+					s.Touch(rng.Intn(hosts))
+				}
+			}
+			snap, err := s.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			twin := mk(dst)
+			if err := twin.Restore(snap); err != nil {
+				t.Fatalf("%s snapshot into %s: %v", src, dst, err)
+			}
+			r := simtime.EpochRange{Lo: 0, Hi: epoch}
+			b1, r1 := s.Query(r)
+			b2, r2 := twin.Query(r)
+			if !b1.Equal(b2) || r1 != r2 {
+				t.Fatalf("%s→%s restore diverged: %+v vs %+v", src, dst, r1, r2)
+			}
+			if twin.Touches() != s.Touches() || twin.CurrentEpoch() != s.CurrentEpoch() {
+				t.Fatalf("%s→%s counters diverged", src, dst)
+			}
+		}
+	}
+	// A bloom snapshot restores only into a bloom structure with identical
+	// filter parameters: the member list cannot be recovered from a sketch.
+	b := mk(BackendBloom)
+	b.Advance(0)
+	for i := 0; i < 50; i++ {
+		b.Touch(rng.Intn(hosts))
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := mk(BackendBloom)
+	if err := twin.Restore(snap); err != nil {
+		t.Fatalf("bloom→bloom restore: %v", err)
+	}
+	q1, _ := b.Query(simtime.EpochRange{Lo: 0, Hi: 0})
+	q2, _ := twin.Query(simtime.EpochRange{Lo: 0, Hi: 0})
+	if !q1.Equal(q2) {
+		t.Fatalf("bloom→bloom candidates diverged")
+	}
+	if err := mk(BackendAdaptive).Restore(snap); err == nil {
+		t.Fatalf("bloom snapshot restored into an exact backend")
+	}
+	mismatched := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: hosts,
+		Backend: BackendBloom, BloomBits: 512, BloomHashes: 3}, nil)
+	if err := mismatched.Restore(snap); err == nil {
+		t.Fatalf("bloom snapshot restored into mismatched filter geometry")
+	}
+}
+
+// legacySlotSnap/legacyStructSnap replicate the PR 5 snapshot wire form
+// (pre-Version, pre-Kind): every payload a dense bitmap. Gob matches struct
+// fields by name, so encoding these decodes through the V2 structSnap with
+// Version=0 and Kind=0 — which is exactly the dense interpretation.
+type legacySlotSnap struct {
+	Epochs simtime.EpochRange
+	Bits   []byte
+	Sealed bool
+	Used   bool
+}
+
+type legacyStructSnap struct {
+	Alpha    simtime.Time
+	K        int
+	NumHosts int
+
+	Epoch       simtime.Epoch
+	Started     bool
+	Touches     uint64
+	Pushes      uint64
+	PushedBytes uint64
+	Cur         []int
+	Levels      [][]legacySlotSnap
+}
+
+// TestLegacyDenseSnapshotRestoresIntoEveryBackend synthesizes a V1 (all-
+// dense, untagged) snapshot stream and restores it into each backend.
+func TestLegacyDenseSnapshotRestoresIntoEveryBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const hosts = 300
+	src := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: hosts, Backend: BackendDense}, nil)
+	src.Advance(0)
+	epoch := simtime.Epoch(0)
+	for op := 0; op < 250; op++ {
+		if rng.Intn(4) == 0 {
+			epoch += simtime.Epoch(rng.Intn(2))
+			src.Advance(epoch)
+		} else {
+			src.Touch(rng.Intn(hosts))
+		}
+	}
+	// Hand-build the legacy stream the way the PR 5 encoder did: every slot
+	// marshaled as a full dense bitmap, no Version, no Kind.
+	legacy := legacyStructSnap{
+		Alpha:       src.cfg.Alpha,
+		K:           src.cfg.K,
+		NumHosts:    src.cfg.NumHosts,
+		Epoch:       src.epoch,
+		Started:     src.started,
+		Touches:     src.touches,
+		Pushes:      src.pushes,
+		PushedBytes: src.pushedBytes,
+		Cur:         append([]int(nil), src.cur...),
+	}
+	legacy.Levels = make([][]legacySlotSnap, len(src.levels))
+	for h, ring := range src.levels {
+		legacy.Levels[h] = make([]legacySlotSnap, len(ring))
+		for i, slot := range ring {
+			bits, err := src.materialize(slot).MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy.Levels[h][i] = legacySlotSnap{Epochs: slot.epochs, Bits: bits, Sealed: slot.sealed, Used: slot.used}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	r := simtime.EpochRange{Lo: 0, Hi: epoch}
+	want, wantRes := src.Query(r)
+	for _, be := range []Backend{BackendDense, BackendAdaptive, BackendBloom} {
+		twin := mustNew(t, Config{Alpha: 10 * simtime.Millisecond, K: 3, NumHosts: hosts, Backend: be}, nil)
+		if err := twin.Restore(buf.Bytes()); err != nil {
+			t.Fatalf("legacy snapshot into %s: %v", be, err)
+		}
+		got, gotRes := twin.Query(r)
+		if be == BackendBloom {
+			// Sketch restore re-inserts members: superset, never a miss.
+			miss := false
+			want.ForEach(func(i int) bool {
+				if !got.Get(i) {
+					miss = true
+					return false
+				}
+				return true
+			})
+			if miss {
+				t.Fatalf("legacy→bloom restore dropped a host")
+			}
+			continue
+		}
+		if !got.Equal(want) || gotRes != wantRes {
+			t.Fatalf("legacy→%s restore diverged", be)
+		}
 	}
 }
 

@@ -165,6 +165,10 @@ type PointersResponse struct {
 	Slots    int    `json:"slots"`
 	Covered  bool   `json:"covered"`
 	Source   string `json:"source"`
+	// Approx marks a sketch-backed answer: the bitmap is a candidate
+	// superset of the touched hosts (never missing one). Omitted (false)
+	// for exact backends, keeping the wire form identical to older peers.
+	Approx bool `json:"approx,omitempty"`
 }
 
 // Decode unpacks the bitmap.
@@ -277,6 +281,7 @@ func NewSwitchHandler(a *switchagent.Agent) http.Handler {
 			Slots:    res.Info.Slots,
 			Covered:  res.Info.Covered,
 			Source:   res.Source,
+			Approx:   !res.Exact,
 		})
 	})
 	mux.HandleFunc("/mph", func(w http.ResponseWriter, r *http.Request) {

@@ -41,6 +41,14 @@ type Options struct {
 	// ClockSeed drives deterministic switch clock-offset assignment.
 	ClockSeed int64
 
+	// PointerBackend selects the per-slot pointer-set implementation on
+	// every switch (zero value: exact-adaptive). PointerBloomBits and
+	// PointerBloomHashes tune the bloom backend (zero: 16384 bits / 4
+	// hashes); pointer.Config.Validate rejects them for other backends.
+	PointerBackend     pointer.Backend
+	PointerBloomBits   int
+	PointerBloomHashes int
+
 	// HeapEventQueue schedules the simulation on the engine's 4-ary heap
 	// instead of the default calendar queue — the `make bench` scheduler
 	// ablation. Simulation results are byte-identical either way; only
@@ -125,7 +133,12 @@ func NewTestbed(build BuildFunc, opt Options) (*Testbed, error) {
 	}
 	for _, sw := range tp.Switches() {
 		ag, err := switchagent.New(net, tp, sw, switchagent.Config{
-			Pointer:            pointer.Config{Alpha: opt.Alpha, K: opt.K, NumHosts: len(ips)},
+			Pointer: pointer.Config{
+				Alpha: opt.Alpha, K: opt.K, NumHosts: len(ips),
+				Backend:     opt.PointerBackend,
+				BloomBits:   opt.PointerBloomBits,
+				BloomHashes: opt.PointerBloomHashes,
+			},
 			Mode:               opt.Mode,
 			Params:             params,
 			RuleUpdateInterval: opt.RuleUpdateInterval,

@@ -149,6 +149,11 @@ type PullResult struct {
 	Hosts  *bitset.Set
 	Info   pointer.QueryResult
 	Source string // "live" or "control-store"
+	// Exact is true when Hosts is exactly the touched set. With a sketch
+	// backend it is false and Hosts is a candidate superset: false-positive
+	// hosts may appear (they answer empty query rounds), but a touched host
+	// is never missing.
+	Exact bool
 }
 
 // PullPointers serves the analyzer: the union of end-host bits for the
@@ -161,22 +166,24 @@ func (a *Agent) PullPointers(r simtime.EpochRange) PullResult {
 	a.PointerPulls++
 	bits, info := a.ptr.Query(r)
 	if info.Covered {
-		return PullResult{Hosts: bits, Info: info, Source: "live"}
+		return PullResult{Hosts: bits, Info: info, Source: "live", Exact: info.Exact}
 	}
 	// Offline path: merge pushed top-level history.
 	merged := bits
 	found := info.Slots > 0
+	exact := info.Exact
 	for _, s := range a.ControlStore {
 		if s.Epochs.Overlaps(r) {
 			merged.UnionWith(s.Bits)
 			found = true
+			exact = exact && !s.Approx
 		}
 	}
 	src := "control-store"
 	if !found {
 		src = "none"
 	}
-	return PullResult{Hosts: merged, Info: info, Source: src}
+	return PullResult{Hosts: merged, Info: info, Source: src, Exact: exact}
 }
 
 // SlotsAt exposes the pull-model access to raw slots at a given level.
