@@ -41,9 +41,11 @@ bench:
 
 ## bench-quick: the inner perf loop — Fig 8 + simulator event rate (incl.
 ## the scheduler ablation) + the bursty calendar sweep + the state-sync
-## snapshot bootstrap + the indexed cold query + the pointer-backend ablation, one iteration, no artifact refresh
+## snapshot bootstrap + the indexed cold query + the pointer-backend
+## ablation + the metrics scrape and deterministic alert storm, one
+## iteration, no artifact refresh
 bench-quick:
-	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue|CalendarBursty|SnapshotBootstrap|ColdQueryIndexed|PointerBackends' -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue|CalendarBursty|SnapshotBootstrap|ColdQueryIndexed|PointerBackends|MetricsScrape|AlertStorm' -benchmem -benchtime 1x .
 
 ## binaries: every cmd/ tool and examples/ program must compile
 binaries:

@@ -6,6 +6,7 @@
 package switchpointer
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http/httptest"
@@ -14,11 +15,13 @@ import (
 	"testing"
 	"time"
 
+	"switchpointer/internal/analyzer"
 	"switchpointer/internal/cluster"
 	"switchpointer/internal/eventq"
 	"switchpointer/internal/experiments"
 	"switchpointer/internal/flowrec"
 	"switchpointer/internal/hostagent"
+	"switchpointer/internal/metrics"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/simtime"
 	"switchpointer/internal/statesync"
@@ -476,4 +479,84 @@ func BenchmarkColdQueryIndexed(b *testing.B) {
 	b.ReportMetric(float64(decoded)/float64(b.N), "segments_decoded/op")
 	b.ReportMetric(float64(skipped)/float64(b.N), "segments_skipped/op")
 	b.ReportMetric(float64(scanned)/float64(b.N), "records_scanned/op")
+}
+
+// BenchmarkMetricsScrape measures one Prometheus text render of a host
+// daemon's full metric registry over the redlights testbed — the scrape
+// cost every monitoring interval pays. The reported family/sample/byte
+// counts are frozen virtual-time quantities (the registry carries no
+// wall-clock families), so the drift gate pins them exactly.
+func BenchmarkMetricsScrape(b *testing.B) {
+	s, err := cluster.BuildScenario("redlights", 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Testbed.Close()
+	s.Run()
+	reg := cluster.HostRegistry(s.Testbed, nil)
+	var raw []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw = reg.Render()
+	}
+	b.StopTimer()
+	fams, err := metrics.ParseText(bytes.NewReader(raw))
+	if err != nil {
+		b.Fatalf("render does not parse: %v", err)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	b.ReportMetric(float64(len(fams)), "families/op")
+	b.ReportMetric(float64(samples), "samples/op")
+	b.ReportMetric(float64(len(raw)), "rendered_bytes/op")
+}
+
+// stormRunner is an instantly-returning Runner for the alert-storm bench.
+type stormRunner struct{}
+
+func (stormRunner) Run(ctx context.Context, q analyzer.Query) (*analyzer.Report, error) {
+	return &analyzer.Report{Kind: analyzer.KindInconclusive}, nil
+}
+
+// BenchmarkAlertStorm replays the canonical deterministic alert storm — 10
+// waves × 20 flows, 100 ms apart on the virtual clock — through the
+// enrichment/dedup/rate-limit pipeline into a live admission controller.
+// Dedup (1 s window) and the token bucket (rate 1/s, burst 8) are clocked
+// on the alerts' own DetectedAt, so the suppressed/admitted split is exact
+// and drift-gated: 8 of 200 alerts reach admission.
+func BenchmarkAlertStorm(b *testing.B) {
+	var st cluster.PipelineStats
+	var admitted uint64
+	for i := 0; i < b.N; i++ {
+		ad := cluster.NewAdmission(stormRunner{}, cluster.AdmissionConfig{MaxInFlight: 2, MaxQueued: 64})
+		p := cluster.NewAlertPipeline(nil, cluster.PipelineConfig{
+			DedupWindow: simtime.Second,
+			Rate:        1,
+			Burst:       8,
+		}, func(ea cluster.EnrichedAlert) {
+			if _, err := ad.Run(context.Background(), ea.Query); err != nil {
+				b.Fatal(err)
+			}
+		})
+		for wave := 0; wave < 10; wave++ {
+			at := simtime.Time(wave) * 100 * simtime.Millisecond
+			for f := 0; f < 20; f++ {
+				p.Offer(hostagent.Alert{
+					Kind:       hostagent.AlertThroughputDrop,
+					Flow:       netsim.FlowKey{Src: netsim.IPv4(0x0a000001), Dst: netsim.IPv4(0x0a000100 + uint32(f)), SrcPort: 1000, DstPort: 80},
+					DetectedAt: at,
+				})
+			}
+		}
+		st = p.Stats()
+		admitted = ad.Stats().Admitted
+		if st.Forwarded != admitted {
+			b.Fatalf("forwarded %d != admitted %d", st.Forwarded, admitted)
+		}
+	}
+	b.ReportMetric(float64(st.Received), "alerts/op")
+	b.ReportMetric(float64(st.Deduped+st.RateLimited), "suppressed/op")
+	b.ReportMetric(float64(admitted), "admitted/op")
 }

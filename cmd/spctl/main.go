@@ -22,16 +22,26 @@
 // cluster:
 //
 //	spctl -problem redlights -remote http://127.0.0.1:7643
+//
+// With -metrics, spctl instead scrapes a daemon's Prometheus /metrics
+// endpoint, parses the exposition text, and pretty-prints every family with
+// its samples — a quick operator's view of any spd role's self-telemetry:
+//
+//	spctl -metrics http://127.0.0.1:7641
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"switchpointer/internal/analyzer"
 	"switchpointer/internal/cluster"
+	"switchpointer/internal/metrics"
 )
 
 func main() {
@@ -41,6 +51,7 @@ func main() {
 		n       = flag.Int("n", 16, "servers (loadimbalance/topk)")
 		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the analyzer query (0 = none)")
 		remote  = flag.String("remote", "", "analyzer service URL — submit the query to a running `spd analyzer` instead of simulating in-process")
+		scrape  = flag.String("metrics", "", "daemon URL — scrape and pretty-print its Prometheus /metrics instead of running a query")
 	)
 	flag.Parse()
 
@@ -49,6 +60,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *scrape != "" {
+		runMetrics(ctx, *scrape)
+		return
 	}
 
 	if *remote != "" {
@@ -102,6 +118,41 @@ func main() {
 		}
 		fmt.Printf("SwitchPointer: %d hosts, %v\n", sp.HostsContacted, sp.Total())
 		fmt.Printf("PathDump:      %d hosts, %v\n", pd.HostsContacted, pd.Total())
+	}
+}
+
+// runMetrics scrapes a daemon's /metrics endpoint, parses the Prometheus
+// exposition text, and pretty-prints every family: TYPE, HELP, and each
+// sample with its labels. Exits non-zero on unreachable daemons or
+// malformed exposition text.
+func runMetrics(ctx context.Context, url string) {
+	if !strings.HasSuffix(url, "/metrics") {
+		url = strings.TrimRight(url, "/") + "/metrics"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	check(err)
+	resp, err := http.DefaultClient.Do(req)
+	check(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		check(fmt.Errorf("GET %s: status %d", url, resp.StatusCode))
+	}
+	fams, err := metrics.ParseText(io.LimitReader(resp.Body, 8<<20))
+	check(err)
+	fmt.Printf("# %s — %d metric families\n", url, len(fams))
+	for _, f := range fams {
+		fmt.Printf("\n%s (%s) — %s\n", f.Name, f.Type, f.Help)
+		for _, s := range f.Samples {
+			var labels []string
+			for _, l := range s.Labels {
+				labels = append(labels, fmt.Sprintf("%s=%q", l[0], l[1]))
+			}
+			name := s.Name
+			if len(labels) > 0 {
+				name += "{" + strings.Join(labels, ",") + "}"
+			}
+			fmt.Printf("  %-60s %g\n", name, s.Value)
+		}
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"switchpointer/internal/cluster"
+	"switchpointer/internal/hostagent"
 	"switchpointer/internal/pointer"
 	"switchpointer/internal/scenario"
 	"switchpointer/internal/simtime"
@@ -94,7 +95,13 @@ func usage() {
   spd switch   -scenario NAME -listen ADDR [-m M -n N] [-bootstrap-from URL]
   spd analyzer -scenario NAME -listen ADDR -hosts URL -switches URL
                [-m M -n N -max-inflight K -max-queue Q -queue-wait D]
+               [-alert-pipeline -alert-dedup W -alert-rate R -alert-burst B]
   spd wait     -url URL [-timeout D]
+
+Every role serves GET /metrics (Prometheus text) and GET /stats (JSON)
+alongside its query plane. With -alert-pipeline, the analyzer enriches,
+deduplicates, and rate-limits the scenario's raised alerts before admitting
+the surviving diagnoses.
 
 With -bootstrap-from, the daemon does NOT replay the scenario: it serves
 immediately in the "syncing" readiness state, pulls the peer daemon's
@@ -120,6 +127,10 @@ func serveCmd(role string, args []string) error {
 		maxInflight  = fs.Int("max-inflight", 0, "analyzer: concurrent diagnosis bound (0 = default 4)")
 		maxQueue     = fs.Int("max-queue", 0, "analyzer: admission queue depth (0 = default 64)")
 		queueWait    = fs.Duration("queue-wait", 0, "analyzer: max queue wait before ErrExpired (0 = unbounded)")
+		alertPipe    = fs.Bool("alert-pipeline", false, "analyzer: run the alert enrichment/dedup pipeline over the scenario's raised alerts, forwarding survivors into admission")
+		alertDedup   = fs.Duration("alert-dedup", time.Second, "analyzer: pipeline dedup window on the alerts' virtual clock")
+		alertRate    = fs.Float64("alert-rate", 0, "analyzer: sustained pipeline forward rate per virtual second (0 = unlimited)")
+		alertBurst   = fs.Int("alert-burst", 0, "analyzer: pipeline token-bucket burst (default 1 when -alert-rate is set)")
 		bootstrap    = fs.String("bootstrap-from", "", "host/switch: base URL of a live peer daemon to bootstrap state from (skips scenario replay)")
 		hotEpochs    = fs.Int("hot-epochs", 0, "host: retention age bound in epochs (0 = no age eviction)")
 		maxRecords   = fs.Int("max-records", 0, "host: retention resident-record cap (0 = unbounded)")
@@ -234,6 +245,17 @@ func serveCmd(role string, args []string) error {
 	// immediately in the syncing state and absorbs the peer's snapshots in
 	// the background; without it, state comes from the deterministic replay
 	// and the daemon is live from the first request.
+	// The alert pipeline consumes the scenario's own raised alerts, so the
+	// subscription must exist before the replay plays them out. The buffer
+	// is sized to hold any scenario's full alert volume.
+	var alerts <-chan hostagent.Alert
+	if *alertPipe {
+		if role != "analyzer" {
+			return errors.New("-alert-pipeline applies to the analyzer role only")
+		}
+		alerts = s.Testbed.SubscribeBuffered(hostagent.AlertFilter{}, 4096)
+	}
+
 	var rd *statesync.Readiness
 	if *bootstrap != "" {
 		if role == "analyzer" {
@@ -249,10 +271,14 @@ func serveCmd(role string, args []string) error {
 	var handler http.Handler
 	switch role {
 	case "host":
-		handler = cluster.HostMux(s.Testbed, rd)
+		reg := cluster.HostRegistry(s.Testbed, rd)
+		reg.Uptime("spd_process_uptime_seconds", "Seconds since the daemon process started.")
+		handler = cluster.HostMuxWith(s.Testbed, rd, reg)
 		fmt.Fprintf(os.Stderr, "spd host: serving %d host agents under /hosts/<ip>/\n", len(s.Testbed.HostAgents))
 	case "switch":
-		handler = cluster.SwitchMux(s.Testbed, rd)
+		reg := cluster.SwitchRegistry(s.Testbed, rd)
+		reg.Uptime("spd_process_uptime_seconds", "Seconds since the daemon process started.")
+		handler = cluster.SwitchMuxWith(s.Testbed, rd, reg)
 		fmt.Fprintf(os.Stderr, "spd switch: serving %d switch agents under /switches/<id>/\n", len(s.Testbed.SwitchAgents))
 	case "analyzer":
 		if *hostsURL == "" || *switchesURL == "" {
@@ -269,7 +295,26 @@ func serveCmd(role string, args []string) error {
 			MaxQueued:   *maxQueue,
 			QueueWait:   *queueWait,
 		})
-		handler = cluster.NewAnalyzerHandler(ad)
+		reg := cluster.AnalyzerRegistry(ad)
+		reg.Uptime("spd_process_uptime_seconds", "Seconds since the daemon process started.")
+		if alerts != nil {
+			pipe := cluster.NewAlertPipeline(s.Testbed.Topo, cluster.PipelineConfig{
+				DedupWindow: simtime.Time(*alertDedup),
+				Rate:        *alertRate,
+				Burst:       *alertBurst,
+			}, func(ea cluster.EnrichedAlert) {
+				go func() {
+					if _, err := ad.Run(context.Background(), ea.Query); err != nil {
+						fmt.Fprintf(os.Stderr, "spd analyzer: pipeline diagnosis (%s): %v\n", ea.Query.Name(), err)
+					}
+				}()
+			})
+			pipe.Register(reg)
+			go pipe.Run(context.Background(), alerts)
+			fmt.Fprintf(os.Stderr, "spd analyzer: alert pipeline armed (dedup %v, rate %g/s, burst %d)\n",
+				*alertDedup, *alertRate, *alertBurst)
+		}
+		handler = cluster.NewAnalyzerHandlerWith(ad, reg)
 		cfg := ad.Config()
 		fmt.Fprintf(os.Stderr, "spd analyzer: /diagnose ready (max %d in flight, %d queued, wait %v)\n",
 			cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueWait)

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"switchpointer/internal/analyzer"
@@ -145,6 +146,11 @@ type Admission struct {
 	rejected  uint64
 	expired   uint64
 	cancelled uint64
+
+	// obs holds the attached metric instruments (nil until Observe). An
+	// atomic pointer so Run never takes a lock just to find out the
+	// controller is uninstrumented.
+	obs atomic.Pointer[admissionObs]
 }
 
 // NewAdmission wraps a Runner (typically *analyzer.Analyzer) in an
@@ -168,6 +174,17 @@ func (ad *Admission) Stats() AdmissionStats {
 		InFlight:  ad.inflight,
 		Queued:    ad.queued,
 	}
+}
+
+// queueDepths snapshots the per-priority-class waiter counts.
+func (ad *Admission) queueDepths() [numPriorities]int {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	var depths [numPriorities]int
+	for p := 0; p < numPriorities; p++ {
+		depths[p] = len(ad.queues[p])
+	}
+	return depths
 }
 
 // Run executes q through the wrapped Runner, subject to admission control:
@@ -199,6 +216,8 @@ func (ad *Admission) Run(ctx context.Context, q analyzer.Query) (*analyzer.Repor
 	ad.queued++
 	ad.mu.Unlock()
 
+	//splint:wallclock queue-wait latency is a real-time service metric on live daemons
+	waitStart := time.Now()
 	var expire <-chan time.Time
 	if ad.cfg.QueueWait > 0 {
 		//splint:wallclock queue-wait expiry is a real-time service bound on live daemons
@@ -210,6 +229,7 @@ func (ad *Admission) Run(ctx context.Context, q analyzer.Query) (*analyzer.Repor
 	case <-w.grant:
 		// The releasing query transferred its slot (and counted the
 		// admission) under the mutex.
+		ad.observeQueueWait(prio, waitStart)
 		return ad.exec(ctx, q)
 	case <-ctx.Done():
 		if ad.abandon(prio, w, &ad.cancelled) {
@@ -229,14 +249,35 @@ func (ad *Admission) Run(ctx context.Context, q analyzer.Query) (*analyzer.Repor
 			return nil, fmt.Errorf("%w (after %v)", ErrExpired, ad.cfg.QueueWait)
 		}
 		// Granted at the deadline boundary: the slot is ours, so run.
+		ad.observeQueueWait(prio, waitStart)
 		return ad.exec(ctx, q)
 	}
 }
 
-// exec runs an admitted query and releases its slot afterwards.
+// observeQueueWait records how long a queued query waited for its slot.
+func (ad *Admission) observeQueueWait(prio int, start time.Time) {
+	o := ad.obs.Load()
+	if o == nil {
+		return
+	}
+	//splint:wallclock queue-wait latency is a real-time service metric on live daemons
+	o.queueWait.With(priorityName(prio)).Observe(time.Since(start).Seconds())
+}
+
+// exec runs an admitted query and releases its slot afterwards, recording
+// the diagnosis outcome when instruments are attached.
 func (ad *Admission) exec(ctx context.Context, q analyzer.Query) (*analyzer.Report, error) {
 	defer ad.release()
-	return ad.run.Run(ctx, q)
+	o := ad.obs.Load()
+	if o == nil {
+		return ad.run.Run(ctx, q)
+	}
+	//splint:wallclock diagnosis wall latency is a real-time service metric on live daemons
+	start := time.Now()
+	rep, err := ad.run.Run(ctx, q)
+	//splint:wallclock diagnosis wall latency is a real-time service metric on live daemons
+	o.recordDiagnosis(q, rep, err, time.Since(start))
+	return rep, err
 }
 
 // abandon removes a still-queued waiter, bumping the given counter, and

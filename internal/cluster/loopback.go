@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"switchpointer/internal/analyzer"
+	"switchpointer/internal/metrics"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/scenario"
@@ -19,8 +20,17 @@ import (
 // /hosts/<ip>/ingest). /healthz answers the statesync.Health document
 // (state + resident-record/evicted-segment accounting) against rd; a nil rd
 // reports permanently live — the non-bootstrap daemon. This is what `spd
-// host` serves; HostURLs derives the matching per-host base URLs.
+// host` serves; HostURLs derives the matching per-host base URLs. The
+// daemon's self-observability rides along: GET /metrics (Prometheus text
+// over a HostRegistry) and GET /stats (the HostStatsDoc JSON).
 func HostMux(tb *scenario.Testbed, rd *statesync.Readiness) http.Handler {
+	return HostMuxWith(tb, rd, HostRegistry(tb, rd))
+}
+
+// HostMuxWith is HostMux with a caller-supplied metric registry — the spd
+// daemon passes one so it can add process-level families (uptime) before
+// mounting.
+func HostMuxWith(tb *scenario.Testbed, rd *statesync.Readiness, reg *metrics.Registry) http.Handler {
 	mux := http.NewServeMux()
 	for ip, ag := range tb.HostAgents {
 		prefix := "/hosts/" + ip.String()
@@ -29,6 +39,8 @@ func HostMux(tb *scenario.Testbed, rd *statesync.Readiness) http.Handler {
 		mux.Handle(prefix+"/ingest", statesync.IngestHandler(ag, rd))
 	}
 	mux.Handle("/healthz", statesync.HealthzHandler(rd, hostStats(tb)))
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/stats", HostStatsHandler(tb, rd))
 	return mux
 }
 
@@ -54,8 +66,13 @@ func hostStats(tb *scenario.Testbed) func() (resident, evictedSegments int) {
 // routes below it, including the state-sync GET /switches/<id>/snapshot).
 // /healthz reports readiness against rd plus the daemon's pushed
 // control-store slot count as its resident-record figure — what `spd
-// switch` serves.
+// switch` serves. GET /metrics and GET /stats ride along as on HostMux.
 func SwitchMux(tb *scenario.Testbed, rd *statesync.Readiness) http.Handler {
+	return SwitchMuxWith(tb, rd, SwitchRegistry(tb, rd))
+}
+
+// SwitchMuxWith is SwitchMux with a caller-supplied metric registry.
+func SwitchMuxWith(tb *scenario.Testbed, rd *statesync.Readiness, reg *metrics.Registry) http.Handler {
 	mux := http.NewServeMux()
 	for id, ag := range tb.SwitchAgents {
 		prefix := "/switches/" + strconv.Itoa(int(id))
@@ -68,6 +85,8 @@ func SwitchMux(tb *scenario.Testbed, rd *statesync.Readiness) http.Handler {
 		}
 		return resident, 0
 	}))
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/stats", SwitchStatsHandler(tb, rd))
 	return mux
 }
 

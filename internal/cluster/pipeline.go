@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"switchpointer/internal/analyzer"
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/metrics"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/simtime"
+	"switchpointer/internal/topo"
+)
+
+// PipelineConfig tunes the alert enrichment/dedup pipeline in front of
+// admission.
+type PipelineConfig struct {
+	// DedupWindow suppresses an alert whose (kind, flow) matches one
+	// forwarded less than a window ago, measured on the alerts' own
+	// virtual DetectedAt clock. Zero disables deduplication.
+	DedupWindow simtime.Time
+	// Rate is the sustained forward rate in alerts per virtual second; the
+	// token bucket refills on the DetectedAt clock. Zero disables rate
+	// limiting.
+	Rate float64
+	// Burst is the token bucket capacity (default 1 when Rate > 0).
+	Burst int
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Rate > 0 && c.Burst <= 0 {
+		c.Burst = 1
+	}
+	return c
+}
+
+// EnrichedAlert is a raised alert annotated with directory context: the
+// switch set its telemetry tuples implicate, the victim flow's topology
+// path, and the diagnosis query the alert kind maps to — everything the
+// admission controller's priority classifier and the analyzer need, attached
+// before the alert crosses into the service plane.
+type EnrichedAlert struct {
+	Alert hostagent.Alert
+	// Switches is the sorted, deduplicated set of switches named by the
+	// alert's telemetry tuples.
+	Switches []netsim.NodeID
+	// Path is the victim flow's topology path (nil when the flow's
+	// endpoints are unknown to the directory).
+	Path []netsim.NodeID
+	// Query is the diagnosis this alert triggers: red-lights for timeouts
+	// (where is the transfer stuck), contention for throughput drops (who
+	// is stealing the bandwidth).
+	Query analyzer.Query
+}
+
+// PipelineStats is a snapshot of the pipeline's counters. Every received
+// alert lands in exactly one of Deduped, RateLimited, or Forwarded.
+type PipelineStats struct {
+	// Received counts alerts offered to the pipeline.
+	Received uint64 `json:"received"`
+	// Deduped counts alerts suppressed as duplicates within the window.
+	Deduped uint64 `json:"deduped"`
+	// RateLimited counts alerts suppressed by the token bucket.
+	RateLimited uint64 `json:"rate_limited"`
+	// Forwarded counts alerts enriched and handed to the forward sink.
+	Forwarded uint64 `json:"forwarded"`
+}
+
+type dedupKey struct {
+	kind hostagent.AlertKind
+	flow netsim.FlowKey
+}
+
+// AlertPipeline sits between a testbed's alert bus and the admission
+// controller: it deduplicates alert storms (a congestion event makes every
+// affected transfer raise near-identical alerts), rate-limits the survivors
+// on the alerts' own virtual clock so suppression counts are deterministic
+// for a replayed scenario, and enriches what passes with directory context.
+// All methods are safe for concurrent use; the forward sink runs outside the
+// pipeline's lock, so it may call Admission.Run (or the network) directly.
+type AlertPipeline struct {
+	tp      *topo.Topology
+	cfg     PipelineConfig
+	forward func(EnrichedAlert)
+
+	mu         sync.Mutex
+	lastSent   map[dedupKey]simtime.Time
+	tokens     float64
+	lastRefill simtime.Time
+	primed     bool
+	stats      PipelineStats
+}
+
+// NewAlertPipeline builds a pipeline over the directory tp whose surviving
+// alerts are delivered to forward (called synchronously, outside the
+// pipeline lock).
+func NewAlertPipeline(tp *topo.Topology, cfg PipelineConfig, forward func(EnrichedAlert)) *AlertPipeline {
+	return &AlertPipeline{
+		tp:       tp,
+		cfg:      cfg.withDefaults(),
+		forward:  forward,
+		lastSent: make(map[dedupKey]simtime.Time),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (p *AlertPipeline) Stats() PipelineStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Offer runs one alert through dedup and rate limiting; survivors are
+// enriched and forwarded before Offer returns true. Suppressed alerts
+// return false.
+func (p *AlertPipeline) Offer(a hostagent.Alert) bool {
+	now := a.DetectedAt
+	p.mu.Lock()
+	p.stats.Received++
+	key := dedupKey{kind: a.Kind, flow: a.Flow}
+	if p.cfg.DedupWindow > 0 {
+		if last, ok := p.lastSent[key]; ok && now >= last && now-last < p.cfg.DedupWindow {
+			p.stats.Deduped++
+			p.mu.Unlock()
+			return false
+		}
+	}
+	if p.cfg.Rate > 0 {
+		if !p.primed {
+			// The bucket starts full at the first alert's timestamp.
+			p.tokens = float64(p.cfg.Burst)
+			p.lastRefill = now
+			p.primed = true
+		} else if now > p.lastRefill {
+			p.tokens += (now - p.lastRefill).Seconds() * p.cfg.Rate
+			if max := float64(p.cfg.Burst); p.tokens > max {
+				p.tokens = max
+			}
+			p.lastRefill = now
+		}
+		if p.tokens < 1 {
+			p.stats.RateLimited++
+			p.mu.Unlock()
+			return false
+		}
+		p.tokens--
+	}
+	p.lastSent[key] = now
+	p.stats.Forwarded++
+	p.mu.Unlock()
+
+	ea := p.enrich(a)
+	if p.forward != nil {
+		p.forward(ea)
+	}
+	return true
+}
+
+// enrich attaches directory context to a surviving alert.
+func (p *AlertPipeline) enrich(a hostagent.Alert) EnrichedAlert {
+	ea := EnrichedAlert{Alert: a}
+	seen := make(map[netsim.NodeID]bool, len(a.Tuples))
+	for _, t := range a.Tuples {
+		if !seen[t.Switch] {
+			seen[t.Switch] = true
+			ea.Switches = append(ea.Switches, t.Switch)
+		}
+	}
+	sort.Slice(ea.Switches, func(i, j int) bool { return ea.Switches[i] < ea.Switches[j] })
+	if p.tp != nil {
+		if path, err := p.tp.PathOf(a.Flow); err == nil {
+			ea.Path = path
+		}
+	}
+	if a.Kind == hostagent.AlertTimeout {
+		ea.Query = analyzer.RedLightsQuery{Alert: a}
+	} else {
+		ea.Query = analyzer.ContentionQuery{Alert: a}
+	}
+	return ea
+}
+
+// Run drains a subscription channel (hostagent.Bus.Subscribe) through the
+// pipeline until the channel closes or ctx ends — the goroutine body the
+// analyzer daemon starts when its alert pipeline is enabled.
+func (p *AlertPipeline) Run(ctx context.Context, ch <-chan hostagent.Alert) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case a, ok := <-ch:
+			if !ok {
+				return
+			}
+			p.Offer(a)
+		}
+	}
+}
+
+// Register adds the pipeline's counter families to a registry (scrape-time
+// reads of Stats, so the families stay deterministic for replayed
+// scenarios).
+func (p *AlertPipeline) Register(reg *metrics.Registry) {
+	stat := func(pick func(PipelineStats) uint64) func(metrics.Emit) {
+		return func(emit metrics.Emit) { emit(float64(pick(p.Stats()))) }
+	}
+	reg.CounterFunc("spd_alerts_received_total", "Alerts offered to the enrichment pipeline.", nil,
+		stat(func(s PipelineStats) uint64 { return s.Received }))
+	reg.CounterFunc("spd_alerts_deduped_total", "Alerts suppressed as duplicates within the dedup window.", nil,
+		stat(func(s PipelineStats) uint64 { return s.Deduped }))
+	reg.CounterFunc("spd_alerts_ratelimited_total", "Alerts suppressed by the virtual-time token bucket.", nil,
+		stat(func(s PipelineStats) uint64 { return s.RateLimited }))
+	reg.CounterFunc("spd_alerts_forwarded_total", "Alerts enriched and forwarded toward admission.", nil,
+		stat(func(s PipelineStats) uint64 { return s.Forwarded }))
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"switchpointer/internal/metrics"
 	"switchpointer/internal/statesync"
 )
 
@@ -28,6 +29,8 @@ type DiagnoseResponse struct {
 //	                 failures map to status codes: queue full → 429,
 //	                 queue wait expired → 503, malformed query → 400.
 //	GET  /stats    — AdmissionStats counters.
+//	GET  /metrics  — Prometheus text over an AnalyzerRegistry (admission
+//	                 occupancy plus per-query-kind diagnosis families).
 //	GET  /healthz  — statesync.Health JSON. The analyzer holds no telemetry
 //	                 and needs no bootstrap, so it reports state "live" with
 //	                 zero resident/evicted counts.
@@ -35,6 +38,13 @@ type DiagnoseResponse struct {
 // Handlers are safe for concurrent requests; concurrency across diagnoses
 // is exactly what the admission controller bounds.
 func NewAnalyzerHandler(ad *Admission) http.Handler {
+	return NewAnalyzerHandlerWith(ad, AnalyzerRegistry(ad))
+}
+
+// NewAnalyzerHandlerWith is NewAnalyzerHandler with a caller-supplied metric
+// registry (built by AnalyzerRegistry, possibly extended with process-level
+// families).
+func NewAnalyzerHandlerWith(ad *Admission, reg *metrics.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/diagnose", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -78,6 +88,7 @@ func NewAnalyzerHandler(ad *Admission) http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ad.Stats())
 	})
+	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/healthz", statesync.HealthzHandler(nil, nil))
 	return mux
 }

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"switchpointer/internal/flowrec"
 	"switchpointer/internal/header"
@@ -120,6 +121,42 @@ type Agent struct {
 
 	// cold is the read-back seam over flushed segments (see SetColdReader).
 	cold store.ColdReader
+
+	// Cumulative cold read-back accounting, accumulated per query on top
+	// of the per-answer HeadersAnswer counters — the scrape-side totals
+	// /metrics exports. Atomics: query executors run concurrently.
+	coldSegments atomic.Uint64
+	coldRecords  atomic.Uint64
+	coldReturned atomic.Uint64
+	coldSkipped  atomic.Uint64
+	coldTiered   atomic.Uint64
+}
+
+// ColdStats is the agent's cumulative cold read-back accounting.
+type ColdStats struct {
+	// Segments counts cold segments decoded for queries (a segment shared
+	// by several queries of one round counts once per charged query,
+	// matching the per-answer cost contract).
+	Segments uint64
+	// Records counts records scanned in those segments.
+	Records uint64
+	// Returned counts cold records merged into answers.
+	Returned uint64
+	// SkippedByIndex counts segments ruled out by their manifest index.
+	SkippedByIndex uint64
+	// Tiered counts tiered-out segment hits (honest answer gaps).
+	Tiered uint64
+}
+
+// ColdStats returns the cumulative cold read-back counters.
+func (a *Agent) ColdStats() ColdStats {
+	return ColdStats{
+		Segments:       a.coldSegments.Load(),
+		Records:        a.coldRecords.Load(),
+		Returned:       a.coldReturned.Load(),
+		SkippedByIndex: a.coldSkipped.Load(),
+		Tiered:         a.coldTiered.Load(),
+	}
 }
 
 // New attaches a SwitchPointer agent to a host. The agent immediately starts
@@ -468,6 +505,13 @@ func (a *Agent) QueryHeadersMulti(ctx context.Context, qs []HeadersQuery) []Head
 		sort.Slice(out[qi].Records, func(i, j int) bool {
 			return flowrec.Less(out[qi].Records[i].Flow, out[qi].Records[j].Flow)
 		})
+	}
+	for qi := range out {
+		a.coldSegments.Add(uint64(out[qi].ColdSegments))
+		a.coldRecords.Add(uint64(out[qi].ColdRecords))
+		a.coldReturned.Add(uint64(out[qi].ColdReturned))
+		a.coldSkipped.Add(uint64(out[qi].ColdSkippedByIndex))
+		a.coldTiered.Add(uint64(out[qi].TieredSegments))
 	}
 	return out
 }

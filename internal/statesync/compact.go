@@ -237,6 +237,8 @@ func (l *SegmentLog) Compact(ctx context.Context, p CompactPolicy) (CompactStats
 	l.segs = newSegs
 	l.mu.Unlock()
 	l.retire(retired)
+	l.compactRuns.Add(1)
+	l.compactedIn.Add(uint64(st.SegmentsIn))
 	return st, nil
 }
 

@@ -84,6 +84,12 @@ func (r *Readiness) AddIngest(records int) {
 	r.ingestRecords.Add(int64(records))
 }
 
+// Progress returns the accumulated bootstrap/ingest counters — the
+// scrape-side accessor behind the statesync /metrics families.
+func (r *Readiness) Progress() (bootSegments, bootRecords, ingestBatches, ingestRecords int64) {
+	return r.bootSegments.Load(), r.bootRecords.Load(), r.ingestBatches.Load(), r.ingestRecords.Load()
+}
+
 // Health is the /healthz body: the readiness state plus resident/evicted
 // accounting, so `spd wait` (and operators) can gate on "live" and watch a
 // bootstrap land.

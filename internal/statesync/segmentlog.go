@@ -65,6 +65,42 @@ type SegmentLog struct {
 	pending   []string
 
 	viewPool sync.Pool
+
+	// Cold-tier activity counters exported by /metrics: segment appends,
+	// payload decodes, compaction passes that merged something, segments
+	// consumed by compaction, and segments tiered out. Atomics, so scrapes
+	// never contend with sweeps or queries.
+	segWrites   atomic.Uint64
+	segDecodes  atomic.Uint64
+	compactRuns atomic.Uint64
+	compactedIn atomic.Uint64
+	tieredOut   atomic.Uint64
+}
+
+// Counters is a snapshot of a SegmentLog's cumulative activity.
+type Counters struct {
+	// SegmentWrites counts WriteSegment appends (eviction-sweep flushes).
+	SegmentWrites uint64
+	// SegmentDecodes counts payload decodes (cold read-back and
+	// compaction both pay one per segment read).
+	SegmentDecodes uint64
+	// CompactRuns counts compaction passes that merged at least one run.
+	CompactRuns uint64
+	// CompactedSegments counts segments consumed by those merges.
+	CompactedSegments uint64
+	// TieredSegments counts segments tiered out by age.
+	TieredSegments uint64
+}
+
+// Counters returns the log's cumulative activity counters.
+func (l *SegmentLog) Counters() Counters {
+	return Counters{
+		SegmentWrites:     l.segWrites.Load(),
+		SegmentDecodes:    l.segDecodes.Load(),
+		CompactRuns:       l.compactRuns.Load(),
+		CompactedSegments: l.compactedIn.Load(),
+		TieredSegments:    l.tieredOut.Load(),
+	}
 }
 
 type logSegment struct {
@@ -214,6 +250,7 @@ func (l *SegmentLog) WriteSegment(m store.SegmentManifest, payload []byte) error
 		l.next++
 	}
 	l.segs = append(l.segs, seg)
+	l.segWrites.Add(1)
 	return nil
 }
 
@@ -359,6 +396,7 @@ func (l *SegmentLog) readSegment(seg *logSegment, i int, fn func(*flowrec.Record
 	if err != nil {
 		return fmt.Errorf("statesync: segment %d: %w", i, err)
 	}
+	l.segDecodes.Add(1)
 	for _, r := range recs {
 		fn(r)
 	}

@@ -123,6 +123,7 @@ func (l *SegmentLog) TierOut(ctx context.Context, now simtime.Time, p TierPolicy
 	l.segs = newSegs
 	l.mu.Unlock()
 	l.retire(retired)
+	l.tieredOut.Add(uint64(st.Tiered))
 	return st, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"switchpointer/internal/flowrec"
 	"switchpointer/internal/netsim"
@@ -85,6 +86,13 @@ type RecordStore struct {
 	// ret holds the optional eviction policy (see SetRetention/Maintain in
 	// retention.go). Zero value = no eviction.
 	ret retention
+
+	// acquires/contended count Acquire calls and the subset that found
+	// their shard's write lock already held — the shard-contention signal
+	// the metrics plane exports. Atomics, so scrapes never touch a shard
+	// lock.
+	acquires  atomic.Uint64
+	contended atomic.Uint64
 }
 
 // mergedEntry is a cached cross-shard BySwitch answer, valid while the
@@ -189,8 +197,32 @@ func (st *RecordStore) View(flow netsim.FlowKey, fn func(*flowrec.Record)) bool 
 // to concurrent queries.
 func (st *RecordStore) Acquire(flow netsim.FlowKey) *flowrec.Record {
 	sh := st.shardOf(flow)
-	sh.mu.Lock()
+	st.acquires.Add(1)
+	if !sh.mu.TryLock() {
+		st.contended.Add(1)
+		sh.mu.Lock()
+	}
 	return getLocked(sh, flow)
+}
+
+// LockStats returns how many Acquire calls have run and how many of them
+// found their shard write-contended (blocked behind another writer or any
+// reader). The ratio is the shard-contention signal /metrics exports.
+func (st *RecordStore) LockStats() (acquires, contended uint64) {
+	return st.acquires.Load(), st.contended.Load()
+}
+
+// Generations returns the sum of every switch's merge-generation counter —
+// it advances once per shard invalidation, so its rate tracks how often
+// absorption churns the memoized BySwitch merges.
+func (st *RecordStore) Generations() uint64 {
+	st.mergeMu.Lock()
+	defer st.mergeMu.Unlock()
+	var total uint64
+	for _, g := range st.gens {
+		total += g
+	}
+	return total
 }
 
 // Release reindexes a record obtained from Acquire and unlocks its shard.

@@ -55,6 +55,11 @@ type Agent struct {
 
 	// PointerPulls counts analyzer pull requests served.
 	PointerPulls uint64
+	// ApproxPulls counts pulls whose answer was approximate (a bloom
+	// backend or approx control-store slot contributed: candidate
+	// supersets, never a missed host). Guarded by ctlMu like PointerPulls;
+	// read both through PullCounts while the agent may be serving.
+	ApproxPulls uint64
 }
 
 // New creates the agent, installs its pipeline stage on the switch, and
@@ -166,6 +171,9 @@ func (a *Agent) PullPointers(r simtime.EpochRange) PullResult {
 	a.PointerPulls++
 	bits, info := a.ptr.Query(r)
 	if info.Covered {
+		if !info.Exact {
+			a.ApproxPulls++
+		}
 		return PullResult{Hosts: bits, Info: info, Source: "live", Exact: info.Exact}
 	}
 	// Offline path: merge pushed top-level history.
@@ -183,7 +191,18 @@ func (a *Agent) PullPointers(r simtime.EpochRange) PullResult {
 	if !found {
 		src = "none"
 	}
+	if !exact {
+		a.ApproxPulls++
+	}
 	return PullResult{Hosts: merged, Info: info, Source: src, Exact: exact}
+}
+
+// PullCounts returns the served-pull counters — total pulls and the subset
+// answered approximately — safe while the agent is serving.
+func (a *Agent) PullCounts() (pulls, approx uint64) {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	return a.PointerPulls, a.ApproxPulls
 }
 
 // SlotsAt exposes the pull-model access to raw slots at a given level.
@@ -258,6 +277,27 @@ func (a *Agent) MemoryBytes() int {
 		m += a.mphTable.SizeBytes()
 	}
 	return m
+}
+
+// PointerFootprint returns the pointer structure's resident byte count and
+// the agent's full switch-memory figure (pointer sets + installed MPH)
+// under the control-plane lock — the scrape-side accessor behind /metrics.
+func (a *Agent) PointerFootprint() (residentBytes, memoryBytes int) {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	m := a.ptr.MemoryBytes()
+	if a.mphTable != nil {
+		m += a.mphTable.SizeBytes()
+	}
+	return a.ptr.ResidentBytes(), m
+}
+
+// PushStats returns the pointer structure's sealed-slot push accounting
+// (slots pushed and their encoded bytes) under the control-plane lock.
+func (a *Agent) PushStats() (count, bytes uint64) {
+	a.ctlMu.Lock()
+	defer a.ctlMu.Unlock()
+	return a.ptr.Pushes()
 }
 
 // String describes the agent.

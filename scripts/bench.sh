@@ -15,7 +15,7 @@
 #               ever slows a run down, so the minimum is the closest sample
 #               to the true cost
 #
-# Output schema (out.json, default BENCH_PR8.json):
+# Output schema (out.json, default BENCH_PR9.json):
 #   {
 #     "benchtime": "3x",
 #     "baseline":  { "<Benchmark>": {"ns_per_op":…, "b_per_op":…,
@@ -30,8 +30,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
-SEED_FROM="BENCH_PR7.json"
+OUT="${1:-BENCH_PR9.json}"
+SEED_FROM="BENCH_PR8.json"
 BENCHTIME="${BENCHTIME:-3x}"
 PATTERN="${PATTERN:-.}"
 BENCHCOUNT="${BENCHCOUNT:-5}"

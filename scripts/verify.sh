@@ -72,6 +72,7 @@ SPD_SWITCH_PID=$!
 HOST_ADDR="$(spd_addr "$SMOKE_DIR/host.log")"
 SWITCH_ADDR="$(spd_addr "$SMOKE_DIR/switch.log")"
 ./bin/spd analyzer -scenario redlights -listen 127.0.0.1:0 \
+	-alert-pipeline -alert-dedup 1s \
 	-hosts "http://$HOST_ADDR" -switches "http://$SWITCH_ADDR" 2>"$SMOKE_DIR/analyzer.log" &
 SPD_ANALYZER_PID=$!
 ANALYZER_ADDR="$(spd_addr "$SMOKE_DIR/analyzer.log")"
@@ -84,6 +85,41 @@ case "$SMOKE_OUT" in
 *"diagnosis: too-many-red-lights"*"culprit:"*) echo "e2e smoke: OK" ;;
 *) echo "e2e smoke: FAILED (unexpected report above)"; exit 1 ;;
 esac
+
+# Observability smoke: every role of the trio serves Prometheus /metrics.
+# spctl scrapes and parses each endpoint (exit non-zero on malformed
+# exposition text) and the required metric families must be present per
+# role. The analyzer runs with -alert-pipeline, so its pipeline families
+# must be present too.
+scrape_expect() {
+	SCRAPE_URL="$1"
+	shift
+	SCRAPE_OUT="$(./bin/spctl -metrics "$SCRAPE_URL")"
+	for fam in "$@"; do
+		case "$SCRAPE_OUT" in
+		*"$fam"*) ;;
+		*)
+			echo "metrics smoke: $SCRAPE_URL missing family $fam" >&2
+			echo "$SCRAPE_OUT" >&2
+			exit 1
+			;;
+		esac
+	done
+}
+scrape_expect "http://$HOST_ADDR" \
+	spd_store_resident_records spd_store_lock_acquires_total \
+	spd_absorbed_packets_total spd_cold_segments_decoded_total \
+	spd_coldlog_segment_writes_total spd_statesync_bootstrap_segments_total \
+	spd_ready spd_process_uptime_seconds
+scrape_expect "http://$SWITCH_ADDR" \
+	spd_pointer_pulls_total spd_pointer_approx_pulls_total \
+	spd_pointer_resident_bytes spd_switch_memory_bytes \
+	spd_control_store_slots spd_ready
+scrape_expect "http://$ANALYZER_ADDR" \
+	spd_admission_in_flight spd_admission_admitted_total \
+	spd_diagnosis_total spd_admission_queue_depth \
+	spd_alerts_received_total spd_alerts_forwarded_total spd_ready
+echo "metrics smoke: OK"
 
 # Bootstrap smoke: the state-sync failover path. Host B starts with
 # -bootstrap-from host A — it never replays the scenario, serves in the
