@@ -29,7 +29,7 @@ test:
 ## service plane, switch agents, the packet simulator, and the root-package
 ## integration tests) — scoped so the gate stays fast
 race:
-	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync ./internal/switchagent ./internal/netsim .
+	$(GO) test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync ./internal/switchagent ./internal/netsim ./internal/trace .
 
 ## bench: run the paper-figure benchmark suite with -benchmem, refresh the
 ## machine-readable perf-trajectory artifact (BENCH_PR5.json; its baseline
@@ -45,7 +45,7 @@ bench:
 ## ablation + the metrics scrape and deterministic alert storm, one
 ## iteration, no artifact refresh
 bench-quick:
-	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue|CalendarBursty|SnapshotBootstrap|ColdQueryIndexed|PointerBackends|MetricsScrape|AlertStorm' -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'Fig8LoadImbalance|SimulatorEventRate|AblationEventQueue|CalendarBursty|SnapshotBootstrap|ColdQueryIndexed|PointerBackends|MetricsScrape|AlertStorm|TraceOverhead' -benchmem -benchtime 1x .
 
 ## binaries: every cmd/ tool and examples/ program must compile
 binaries:

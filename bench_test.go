@@ -560,3 +560,48 @@ func BenchmarkAlertStorm(b *testing.B) {
 	b.ReportMetric(float64(st.Deduped+st.RateLimited), "suppressed/op")
 	b.ReportMetric(float64(admitted), "admitted/op")
 }
+
+// BenchmarkTraceOverhead measures what always-on tracing costs one in-memory
+// red-lights diagnosis: the untraced arm runs with Analyzer.DisableTracing
+// set, the traced arm with the default recorder wired through the rpc.Clock.
+// The span count is deterministic (root + one span per charged phase, the
+// same every run — the drift-gated assertion that tracing is an observer of
+// the virtual clock, never a participant). Tracing overhead lands within
+// noise of the untraced arm on the pinned 1-CPU runner (≤5% ns/op).
+func BenchmarkTraceOverhead(b *testing.B) {
+	s, err := cluster.BuildScenario("redlights", 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Testbed.Close()
+	q, err := s.Query()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"untraced", true}, {"traced", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s.Testbed.Analyzer.DisableTracing = mode.disable
+			defer func() { s.Testbed.Analyzer.DisableTracing = false }()
+			spans := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := s.Testbed.Analyzer.Run(context.Background(), q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.disable {
+					if rep.Trace != nil {
+						b.Fatal("untraced run produced a trace")
+					}
+				} else {
+					spans = len(rep.Trace.Spans)
+				}
+			}
+			if !mode.disable {
+				b.ReportMetric(float64(spans), "spans")
+			}
+		})
+	}
+}

@@ -28,38 +28,63 @@
 // its samples — a quick operator's view of any spd role's self-telemetry:
 //
 //	spctl -metrics http://127.0.0.1:7641
+//
+// With -trace, spctl fetches a diagnosis trace from a running analyzer's
+// flight recorder (GET /traces), walks the analyzer's advertised peers to
+// collect the host/switch daemons' child spans, merges the views by span ID,
+// and pretty-prints the virtual-time span tree (add -json for the canonical
+// merged JSON — byte-identical across repeated fetches):
+//
+//	spctl -trace http://127.0.0.1:7643 [sp-0123456789abcdef]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 
 	"switchpointer/internal/analyzer"
+	"switchpointer/internal/buildinfo"
 	"switchpointer/internal/cluster"
 	"switchpointer/internal/metrics"
+	"switchpointer/internal/trace"
 )
 
 func main() {
 	var (
-		problem = flag.String("problem", "priority", "priority | microburst | redlights | cascade | loadimbalance | topk")
-		m       = flag.Int("m", 8, "burst flows (priority/microburst)")
-		n       = flag.Int("n", 16, "servers (loadimbalance/topk)")
-		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the analyzer query (0 = none)")
-		remote  = flag.String("remote", "", "analyzer service URL — submit the query to a running `spd analyzer` instead of simulating in-process")
-		scrape  = flag.String("metrics", "", "daemon URL — scrape and pretty-print its Prometheus /metrics instead of running a query")
+		problem  = flag.String("problem", "priority", "priority | microburst | redlights | cascade | loadimbalance | topk")
+		m        = flag.Int("m", 8, "burst flows (priority/microburst)")
+		n        = flag.Int("n", 16, "servers (loadimbalance/topk)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the analyzer query (0 = none)")
+		remote   = flag.String("remote", "", "analyzer service URL — submit the query to a running `spd analyzer` instead of simulating in-process")
+		scrape   = flag.String("metrics", "", "daemon URL — scrape and pretty-print its Prometheus /metrics instead of running a query")
+		traceURL = flag.String("trace", "", "analyzer service URL — fetch, merge, and print a diagnosis trace from the cluster's flight recorders (optional positional arg: trace ID; defaults to the most recent)")
+		asJSON   = flag.Bool("json", false, "with -trace: print the canonical merged trace as JSON instead of a tree")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("spctl %s %s\n", buildinfo.Version, buildinfo.Go())
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *traceURL != "" {
+		runTrace(ctx, *traceURL, flag.Arg(0), *asJSON)
+		return
 	}
 
 	if *scrape != "" {
@@ -153,6 +178,103 @@ func runMetrics(ctx context.Context, url string) {
 			}
 			fmt.Printf("  %-60s %g\n", name, s.Value)
 		}
+	}
+}
+
+// runTrace fetches one diagnosis trace from a running analyzer's flight
+// recorder, walks the index's advertised peers for the host/switch daemons'
+// child spans, merges the per-role views, and prints the span tree (or, with
+// -json, the canonical merged JSON the byte-equality gates compare). An empty
+// id selects the most recently recorded trace.
+func runTrace(ctx context.Context, url, id string, asJSON bool) {
+	hc := http.DefaultClient
+	base := strings.TrimRight(url, "/")
+	idx, err := cluster.FetchTraceIndex(ctx, hc, base)
+	check(err)
+	if id == "" {
+		if len(idx.Traces) == 0 {
+			check(fmt.Errorf("no traces recorded at %s", base))
+		}
+		id = idx.Traces[len(idx.Traces)-1]
+	}
+	bases := []string{base}
+	roles := make([]string, 0, len(idx.Peers))
+	for r := range idx.Peers {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	for _, r := range roles {
+		bases = append(bases, strings.TrimRight(idx.Peers[r], "/"))
+	}
+	var views []trace.Trace
+	for _, b := range bases {
+		t, ok, err := cluster.FetchTrace(ctx, hc, b, id)
+		check(err)
+		if ok {
+			views = append(views, t)
+		}
+	}
+	if len(views) == 0 {
+		check(fmt.Errorf("trace %s not found on any daemon", id))
+	}
+	merged := cluster.MergeTraces(id, views...)
+	if asJSON {
+		data, err := json.MarshalIndent(merged.Canonical(), "", "  ")
+		check(err)
+		fmt.Println(string(data))
+		return
+	}
+	printTraceTree(merged)
+}
+
+// printTraceTree renders a merged trace as an indented tree. Spans arrive in
+// canonical (Start, ID) order, so children print in virtual-time order;
+// spans whose parent is absent (an evicted analyzer trace, say) print as
+// roots so nothing is silently dropped.
+func printTraceTree(t trace.Trace) {
+	byID := make(map[string]trace.Span, len(t.Spans))
+	children := make(map[string][]string)
+	roleSet := make(map[string]bool)
+	for _, s := range t.Spans {
+		byID[s.ID] = s
+		roleSet[s.Role] = true
+	}
+	var roots []string
+	for _, s := range t.Spans {
+		if _, ok := byID[s.Parent]; s.Parent != "" && ok {
+			children[s.Parent] = append(children[s.Parent], s.ID)
+		} else {
+			roots = append(roots, s.ID)
+		}
+	}
+	roles := make([]string, 0, len(roleSet))
+	for r := range roleSet {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	fmt.Printf("trace %s — %d spans across %s\n", t.ID, len(t.Spans), strings.Join(roles, ", "))
+	var walk func(id string, depth int)
+	walk = func(id string, depth int) {
+		s := byID[id]
+		line := fmt.Sprintf("%s%s [%s] %s", strings.Repeat("  ", depth), s.ID, s.Role, s.Name)
+		if s.End > s.Start {
+			line += fmt.Sprintf("  %v → %v (%v)", s.Start, s.End, s.Duration())
+		} else {
+			line += fmt.Sprintf("  @ %v", s.Start)
+		}
+		for _, a := range s.Attrs {
+			line += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+		}
+		if s.Wall > 0 {
+			line += fmt.Sprintf("  wall=%dns", s.Wall)
+		}
+		fmt.Println(line)
+		for _, c := range children[id] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
 	}
 }
 

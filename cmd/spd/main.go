@@ -50,13 +50,16 @@ import (
 	"syscall"
 	"time"
 
+	"switchpointer/internal/buildinfo"
 	"switchpointer/internal/cluster"
 	"switchpointer/internal/hostagent"
+	"switchpointer/internal/metrics"
 	"switchpointer/internal/pointer"
 	"switchpointer/internal/scenario"
 	"switchpointer/internal/simtime"
 	"switchpointer/internal/statesync"
 	"switchpointer/internal/store"
+	"switchpointer/internal/trace"
 )
 
 func main() {
@@ -71,6 +74,9 @@ func main() {
 		err = serveCmd(cmd, args)
 	case "wait":
 		err = waitCmd(args)
+	case "-version", "--version", "version":
+		fmt.Printf("spd %s %s\n", buildinfo.Version, buildinfo.Go())
+		return
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -268,17 +274,23 @@ func serveCmd(role string, args []string) error {
 		fmt.Fprintf(os.Stderr, "spd %s: scenario %q played to %v\n", role, *scenarioName, end)
 	}
 
+	// Every role keeps a bounded flight recorder of the traces it touched,
+	// served at GET /traces (+ /traces/<id>).
+	fr := trace.NewFlightRecorder(role, 0)
+
 	var handler http.Handler
 	switch role {
 	case "host":
 		reg := cluster.HostRegistry(s.Testbed, rd)
 		reg.Uptime("spd_process_uptime_seconds", "Seconds since the daemon process started.")
-		handler = cluster.HostMuxWith(s.Testbed, rd, reg)
+		registerBuildInfo(reg)
+		handler = cluster.HostMuxWith(s.Testbed, rd, reg, fr)
 		fmt.Fprintf(os.Stderr, "spd host: serving %d host agents under /hosts/<ip>/\n", len(s.Testbed.HostAgents))
 	case "switch":
 		reg := cluster.SwitchRegistry(s.Testbed, rd)
 		reg.Uptime("spd_process_uptime_seconds", "Seconds since the daemon process started.")
-		handler = cluster.SwitchMuxWith(s.Testbed, rd, reg)
+		registerBuildInfo(reg)
+		handler = cluster.SwitchMuxWith(s.Testbed, rd, reg, fr)
 		fmt.Fprintf(os.Stderr, "spd switch: serving %d switch agents under /switches/<id>/\n", len(s.Testbed.SwitchAgents))
 	case "analyzer":
 		if *hostsURL == "" || *switchesURL == "" {
@@ -295,8 +307,11 @@ func serveCmd(role string, args []string) error {
 			MaxQueued:   *maxQueue,
 			QueueWait:   *queueWait,
 		})
+		ad.Flight = fr
+		fr.SetPeers(map[string]string{"hosts": *hostsURL, "switches": *switchesURL})
 		reg := cluster.AnalyzerRegistry(ad)
 		reg.Uptime("spd_process_uptime_seconds", "Seconds since the daemon process started.")
+		registerBuildInfo(reg)
 		if alerts != nil {
 			pipe := cluster.NewAlertPipeline(s.Testbed.Topo, cluster.PipelineConfig{
 				DedupWindow: simtime.Time(*alertDedup),
@@ -309,20 +324,31 @@ func serveCmd(role string, args []string) error {
 					}
 				}()
 			})
+			pipe.Flight = fr
 			pipe.Register(reg)
 			go pipe.Run(context.Background(), alerts)
 			fmt.Fprintf(os.Stderr, "spd analyzer: alert pipeline armed (dedup %v, rate %g/s, burst %d)\n",
 				*alertDedup, *alertRate, *alertBurst)
 		}
-		handler = cluster.NewAnalyzerHandlerWith(ad, reg)
+		handler = cluster.NewAnalyzerHandlerWith(ad, reg, fr)
 		cfg := ad.Config()
 		fmt.Fprintf(os.Stderr, "spd analyzer: /diagnose ready (max %d in flight, %d queued, wait %v)\n",
 			cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueWait)
 	}
 	if rd != nil {
-		go runBootstrap(role, *bootstrap, s.Testbed, rd)
+		go runBootstrap(role, *bootstrap, s.Testbed, rd, fr)
 	}
 	return serve(*listen, handler, role)
+}
+
+// registerBuildInfo adds the constant spd_build_info gauge every role serves:
+// value 1, labeled with the binary's version identity, so dashboards can
+// detect version skew across a trio without parsing /healthz.
+func registerBuildInfo(reg *metrics.Registry) {
+	reg.GaugeFunc("spd_build_info", "Always 1, labeled with the binary's version and toolchain.",
+		[]string{"version", "goversion"}, func(emit metrics.Emit) {
+			emit(1, buildinfo.Version, buildinfo.Go())
+		})
 }
 
 // runBootstrap absorbs the peer daemon's snapshots in the background while
@@ -330,7 +356,7 @@ func serveCmd(role string, args []string) error {
 // then flips readiness to live. A failed bootstrap leaves the daemon in the
 // syncing state — `spd wait` keeps waiting, which is the honest failure
 // mode.
-func runBootstrap(role, peer string, tb *scenario.Testbed, rd *statesync.Readiness) {
+func runBootstrap(role, peer string, tb *scenario.Testbed, rd *statesync.Readiness, fr *trace.FlightRecorder) {
 	ctx := context.Background()
 	if err := cluster.WaitReady(ctx, peer+"/healthz", 60*time.Second); err != nil {
 		fmt.Fprintf(os.Stderr, "spd %s: bootstrap peer never went live: %v\n", role, err)
@@ -339,6 +365,23 @@ func runBootstrap(role, peer string, tb *scenario.Testbed, rd *statesync.Readine
 	b := &statesync.Bootstrapper{Readiness: rd}
 	//splint:wallclock daemon progress log: real elapsed bootstrap time, never a metric
 	start := time.Now()
+	// The bootstrap leaves a single-span trace in the flight recorder: pure
+	// wall-clock work (no virtual clock runs here), so the duration rides the
+	// exempt wall annotation and the span's virtual times stay zero.
+	recordBootstrap := func(segs, recs int64) {
+		if fr == nil {
+			return
+		}
+		//splint:wallclock daemon progress log: real elapsed bootstrap time, never a metric
+		wall := time.Since(start)
+		fr.Record(trace.NewID("bootstrap", role, peer), trace.Span{
+			ID: "0", Name: "bootstrap", Role: role, Wall: wall.Nanoseconds(),
+			Attrs: []trace.Attr{
+				{Key: "segments", Value: fmt.Sprintf("%d", segs)},
+				{Key: "records", Value: fmt.Sprintf("%d", recs)},
+			},
+		})
+	}
 	switch role {
 	case "host":
 		segs, recs, err := cluster.BootstrapHosts(ctx, b, peer, tb)
@@ -346,6 +389,7 @@ func runBootstrap(role, peer string, tb *scenario.Testbed, rd *statesync.Readine
 			fmt.Fprintf(os.Stderr, "spd host: bootstrap failed: %v\n", err)
 			return
 		}
+		recordBootstrap(int64(segs), int64(recs))
 		fmt.Fprintf(os.Stderr, "spd host: bootstrap complete (%d segments, %d records, %v); live\n",
 			//splint:wallclock daemon progress log: real elapsed bootstrap time, never a metric
 			segs, recs, time.Since(start).Round(time.Millisecond))
@@ -354,6 +398,7 @@ func runBootstrap(role, peer string, tb *scenario.Testbed, rd *statesync.Readine
 			fmt.Fprintf(os.Stderr, "spd switch: bootstrap failed: %v\n", err)
 			return
 		}
+		recordBootstrap(0, 0)
 		//splint:wallclock daemon progress log: real elapsed bootstrap time, never a metric
 		fmt.Fprintf(os.Stderr, "spd switch: bootstrap complete (%v); live\n", time.Since(start).Round(time.Millisecond))
 	}

@@ -56,6 +56,11 @@ type Analyzer struct {
 	// byte-identical for every worker count: per-host answers are merged in
 	// sorted host order regardless of completion order (see rpc.FanOut).
 	Workers int
+
+	// DisableTracing turns off the per-query span recorder (the untraced
+	// arm of BenchmarkTraceOverhead). Tracing never alters clock charges,
+	// so every virtual-time metric is byte-identical either way.
+	DisableTracing bool
 }
 
 // DefaultWorkers, when positive, sets the fan-out width for analyzers whose
@@ -139,6 +144,9 @@ func hostNames(ips []netsim.IPv4) []string {
 // one pointer round trip regardless of path length (asserted via
 // rpc.Clock.PointerRounds).
 func (a *Analyzer) pullCandidates(ctx context.Context, clock *rpc.Clock, tuples []hostagent.AlertTuple) (map[netsim.NodeID][]netsim.IPv4, error) {
+	// Pointer pulls issued now parent under the pointer-retrieval span
+	// charged right after the batch returns.
+	ctx = clock.RemoteCtx(ctx)
 	reqs := make([]SwitchEpochs, len(tuples))
 	for i, tup := range tuples {
 		reqs[i] = SwitchEpochs{Switch: tup.Switch, Epochs: tup.Epochs}

@@ -7,6 +7,7 @@ import (
 	"switchpointer/internal/hostagent"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
+	"switchpointer/internal/trace"
 )
 
 // maxCascadeDepth bounds how far back the analyzer chases causality.
@@ -32,6 +33,7 @@ func (a *Analyzer) DiagnoseCascade(alert hostagent.Alert) *Report {
 // that never triggered any alert themselves.
 func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (*Report, error) {
 	clock := rpc.NewClock(a.Cost, alert.DetectedAt)
+	clock.Trace(trace.FromContext(ctx))
 	clock.Spend("detection", a.DetectionLatency)
 	clock.AlertDelivered()
 
@@ -126,6 +128,9 @@ func (a *Analyzer) diagnoseCascade(ctx context.Context, alert hostagent.Alert) (
 // fetched through the host backend so the cascade procedure works over the
 // wire too.
 func (a *Analyzer) syntheticAlert(ctx context.Context, clock *rpc.Clock, flow netsim.FlowKey) (hostagent.Alert, bool) {
+	// The record probe parents under the one-host diagnosis round charged
+	// just below.
+	ctx = clock.RemoteCtx(ctx)
 	rec, ok := a.hostBackend().Record(ctx, flow.Dst, flow)
 	if !ok {
 		return hostagent.Alert{}, false

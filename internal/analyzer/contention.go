@@ -8,6 +8,7 @@ import (
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
+	"switchpointer/internal/trace"
 )
 
 // DiagnoseContention debugs a throughput-drop or timeout alert without
@@ -36,6 +37,7 @@ func (a *Analyzer) DiagnoseContention(alert hostagent.Alert) *Report {
 //     with the victim (diagnosis).
 func (a *Analyzer) diagnoseContention(ctx context.Context, alert hostagent.Alert) (*Report, error) {
 	clock := rpc.NewClock(a.Cost, alert.DetectedAt)
+	clock.Trace(trace.FromContext(ctx))
 	clock.Spend("detection", a.DetectionLatency)
 	clock.AlertDelivered()
 	return a.contentionRound(ctx, clock, alert)
@@ -82,12 +84,15 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 	// every worker count and backend. A cancellation mid-round still charges
 	// the hosts dispatched so far, so the partial Report carries the cost
 	// actually incurred.
-	victimPrio := victimPriority(ctx, a, alert)
+	// The uncharged priority probe and the headers fan-out both parent
+	// under the diagnosis span charged when the round returns.
+	qctx := clock.RemoteCtx(ctx)
+	victimPrio := victimPriority(qctx, a, alert)
 	queries := make([]hostagent.HeadersQuery, len(alert.Tuples))
 	for qi, tup := range alert.Tuples {
 		queries[qi] = hostagent.HeadersQuery{Switch: tup.Switch, Epochs: tup.Epochs}
 	}
-	answers, dispatched, cerr := a.hostBackend().HeadersRound(ctx, a.workers(), contact, queries)
+	answers, dispatched, cerr := a.hostBackend().HeadersRound(qctx, a.workers(), contact, queries)
 	recCounts := make([]int, dispatched)
 	var coldHosts []string
 	var coldRecs []int
@@ -158,7 +163,7 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 		// partial report never carries ColdSegments without the matching
 		// round (the Report.ColdSegments invariant holds even cancelled).
 		if len(coldHosts) > 0 {
-			clock.HostsQueried("cold-read-back", coldHosts, coldRecs)
+			clock.HostsQueried(rpc.PhaseColdReadBack, coldHosts, coldRecs)
 		}
 		return cancelled(d, ctx, "host queries")
 	}
@@ -169,7 +174,7 @@ func (a *Analyzer) contentionRound(ctx context.Context, clock *rpc.Clock, alert 
 	// stays honest. A diagnosis answered entirely from hot windows charges
 	// nothing here, keeping all hot-window metrics byte-identical.
 	if len(coldHosts) > 0 {
-		clock.HostsQueried("cold-read-back", coldHosts, coldRecs)
+		clock.HostsQueried(rpc.PhaseColdReadBack, coldHosts, coldRecs)
 	}
 
 	sortCulprits(d.Culprits)

@@ -10,6 +10,7 @@ import (
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
 	"switchpointer/internal/topo"
+	"switchpointer/internal/trace"
 )
 
 // LinkDistribution is the flow-size distribution observed on one egress
@@ -59,9 +60,12 @@ func (a *Analyzer) DiagnoseLoadImbalance(sw netsim.NodeID, window simtime.EpochR
 // large on the other).
 func (a *Analyzer) diagnoseImbalance(ctx context.Context, q ImbalanceQuery) (*Report, error) {
 	clock := rpc.NewClock(a.Cost, q.At)
+	clock.Trace(trace.FromContext(ctx))
 	rep := &Report{Switch: q.Switch, Clock: clock, Kind: KindInconclusive}
 
-	hosts, err := a.Dir.Hosts(ctx, q.Switch, q.Window)
+	// The pointer pull parents under the pointer-retrieval span charged on
+	// return.
+	hosts, err := a.Dir.Hosts(clock.RemoteCtx(ctx), q.Switch, q.Window)
 	if err != nil {
 		if errors.Is(err, ErrUnknownSwitch) {
 			rep.Conclusion = "unknown switch"
@@ -77,7 +81,7 @@ func (a *Analyzer) diagnoseImbalance(ctx context.Context, q ImbalanceQuery) (*Re
 	// merge below runs in sorted host order (and the per-link series are
 	// sorted afterwards anyway), so the report is identical for every
 	// worker count and backend.
-	answers, dispatched, cerr := a.hostBackend().FlowSizesRound(ctx, a.workers(), hosts, q.Switch)
+	answers, dispatched, cerr := a.hostBackend().FlowSizesRound(clock.RemoteCtx(ctx), a.workers(), hosts, q.Switch)
 	byLink := make(map[topo.LinkID][]uint64)
 	recCounts := make([]int, dispatched)
 	for i := 0; i < dispatched; i++ {

@@ -3,11 +3,13 @@ package analyzer
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"switchpointer/internal/hostagent"
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
+	"switchpointer/internal/trace"
 )
 
 // Query is one self-describing request the analyzer can execute through Run.
@@ -156,6 +158,12 @@ type Report struct {
 	// non-nil, and holds the partial cost when the query was cancelled.
 	Clock *rpc.Clock
 
+	// TraceID identifies the diagnosis trace; Trace is the analyzer-side
+	// span tree (root + one span per charged phase). Both stay zero when
+	// tracing is disabled.
+	TraceID string
+	Trace   *trace.Trace
+
 	Conclusion string
 }
 
@@ -172,10 +180,94 @@ type (
 	TopKReport      = Report
 )
 
+// TraceID derives the deterministic trace ID of a query purely from its
+// parameters, so the same query yields the same ID whether it runs
+// in-memory, over loopback HTTP, or against a real spd trio — which is what
+// lets cluster merge the per-role flight-recorder trees.
+func TraceID(q Query) string {
+	switch q := q.(type) {
+	case ContentionQuery:
+		return alertTraceID(q.Name(), q.Alert)
+	case *ContentionQuery:
+		return alertTraceID(q.Name(), q.Alert)
+	case RedLightsQuery:
+		return alertTraceID(q.Name(), q.Alert)
+	case *RedLightsQuery:
+		return alertTraceID(q.Name(), q.Alert)
+	case CascadeQuery:
+		return alertTraceID(q.Name(), q.Alert)
+	case *CascadeQuery:
+		return alertTraceID(q.Name(), q.Alert)
+	case ImbalanceQuery:
+		return imbalanceTraceID(q)
+	case *ImbalanceQuery:
+		return imbalanceTraceID(*q)
+	case TopKQuery:
+		return topkTraceID(q)
+	case *TopKQuery:
+		return topkTraceID(*q)
+	default:
+		return ""
+	}
+}
+
+func alertTraceID(kind string, a hostagent.Alert) string {
+	return trace.NewID(kind, a.Flow.String(),
+		strconv.FormatInt(int64(a.DetectedAt), 10), a.Kind.String(), a.Host.String())
+}
+
+func imbalanceTraceID(q ImbalanceQuery) string {
+	return trace.NewID(q.Name(), strconv.Itoa(int(q.Switch)),
+		strconv.FormatInt(int64(q.Window.Lo), 10), strconv.FormatInt(int64(q.Window.Hi), 10),
+		strconv.FormatInt(int64(q.At), 10))
+}
+
+func topkTraceID(q TopKQuery) string {
+	return trace.NewID(q.Name(), strconv.Itoa(int(q.Switch)), strconv.Itoa(q.K),
+		strconv.FormatInt(int64(q.Window.Lo), 10), strconv.FormatInt(int64(q.Window.Hi), 10),
+		strconv.Itoa(int(q.Mode)), strconv.FormatInt(int64(q.At), 10))
+}
+
+// QueryStart returns the virtual time a query's diagnosis clock anchors at:
+// the alert's detection time for alert-driven kinds, the query's At for
+// switch-driven ones.
+func QueryStart(q Query) simtime.Time {
+	switch q := q.(type) {
+	case ContentionQuery:
+		return q.Alert.DetectedAt
+	case *ContentionQuery:
+		return q.Alert.DetectedAt
+	case RedLightsQuery:
+		return q.Alert.DetectedAt
+	case *RedLightsQuery:
+		return q.Alert.DetectedAt
+	case CascadeQuery:
+		return q.Alert.DetectedAt
+	case *CascadeQuery:
+		return q.Alert.DetectedAt
+	case ImbalanceQuery:
+		return q.At
+	case *ImbalanceQuery:
+		return q.At
+	case TopKQuery:
+		return q.At
+	case *TopKQuery:
+		return q.At
+	default:
+		return 0
+	}
+}
+
 // Run executes a query, honouring ctx cancellation and deadlines at every
 // phase boundary and host contact. On cancellation it returns the partial
 // Report built so far — with the cost actually incurred on its Clock —
 // together with ctx.Err(). A nil error means the query ran to completion.
+//
+// Tracing: unless DisableTracing is set, Run adopts the trace.Recorder on
+// ctx (installed by the admission controller) or mints one with the query's
+// deterministic TraceID, and every charged clock phase becomes a span; the
+// finished trace rides on Report.Trace. Cancellation still closes the trace
+// — its spans are exactly the charged (dispatched-prefix) phases.
 func (a *Analyzer) Run(ctx context.Context, q Query) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -185,6 +277,14 @@ func (a *Analyzer) Run(ctx context.Context, q Query) (*Report, error) {
 	}
 	if err := q.validate(); err != nil {
 		return nil, err
+	}
+	var rec *trace.Recorder
+	if !a.DisableTracing {
+		rec = trace.FromContext(ctx)
+		if rec == nil {
+			rec = trace.NewRecorder(TraceID(q), "analyzer", q.Name())
+			ctx = trace.NewContext(ctx, rec)
+		}
 	}
 	var (
 		rep *Report
@@ -215,6 +315,12 @@ func (a *Analyzer) Run(ctx context.Context, q Query) (*Report, error) {
 		return nil, fmt.Errorf("analyzer: unknown query type %T", q)
 	}
 	rep.Query = q
+	if rec != nil && rep != nil {
+		rec.Finish(rep.Clock.Now())
+		t := rec.Trace()
+		rep.TraceID = rec.ID()
+		rep.Trace = &t
+	}
 	return rep, err
 }
 

@@ -10,6 +10,7 @@ import (
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/simtime"
+	"switchpointer/internal/trace"
 )
 
 // TopKMode selects how the query locates telemetry.
@@ -49,6 +50,7 @@ func (a *Analyzer) TopK(sw netsim.NodeID, k int, window simtime.EpochRange, mode
 // telemetry, locating the relevant hosts per the query mode.
 func (a *Analyzer) topK(ctx context.Context, q TopKQuery) (*Report, error) {
 	clock := rpc.NewClock(a.Cost, q.At)
+	clock.Trace(trace.FromContext(ctx))
 	rep := &Report{Switch: q.Switch, Clock: clock, Kind: KindTopK}
 
 	var hosts []netsim.IPv4
@@ -60,7 +62,9 @@ func (a *Analyzer) topK(ctx context.Context, q TopKQuery) (*Report, error) {
 		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
 	default:
 		var err error
-		hosts, err = a.Dir.Hosts(ctx, q.Switch, q.Window)
+		// The pointer pull parents under the pointer-retrieval span
+		// charged on return.
+		hosts, err = a.Dir.Hosts(clock.RemoteCtx(ctx), q.Switch, q.Window)
 		if err != nil {
 			rep.Kind = KindInconclusive
 			if errors.Is(err, ErrUnknownSwitch) {
@@ -78,7 +82,7 @@ func (a *Analyzer) topK(ctx context.Context, q TopKQuery) (*Report, error) {
 	// the worker pool in both backends); each host fills its own answer slot
 	// and the merge below runs in sorted host order, so the result is
 	// identical for every worker count and backend.
-	answers, dispatched, cerr := a.hostBackend().TopKRound(ctx, a.workers(), hosts, q.Switch, q.K)
+	answers, dispatched, cerr := a.hostBackend().TopKRound(clock.RemoteCtx(ctx), a.workers(), hosts, q.Switch, q.K)
 	merged := make(map[netsim.FlowKey]uint64)
 	recCounts := make([]int, dispatched)
 	for i := 0; i < dispatched; i++ {

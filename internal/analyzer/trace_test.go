@@ -1,0 +1,133 @@
+package analyzer_test
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+
+	"switchpointer/internal/analyzer"
+	"switchpointer/internal/hostagent"
+	"switchpointer/internal/netsim"
+	"switchpointer/internal/scenario"
+	"switchpointer/internal/simtime"
+)
+
+// cancelOnHeaders wraps a HostBackend and cancels the run's context the
+// moment the diagnosis reaches its HeadersRound fan-out, so the round stops
+// at a deterministic dispatch-prefix checkpoint mid-procedure.
+type cancelOnHeaders struct {
+	analyzer.HostBackend
+	cancel context.CancelFunc
+}
+
+func (c cancelOnHeaders) HeadersRound(ctx context.Context, workers int, hosts []netsim.IPv4, queries []hostagent.HeadersQuery) ([][]hostagent.HeadersAnswer, int, error) {
+	c.cancel()
+	return c.HostBackend.HeadersRound(ctx, workers, hosts, queries)
+}
+
+// TestCancelledDiagnosisTraceWellFormed: a diagnosis cut by context
+// cancellation must still hand back a closed, well-formed trace whose phase
+// spans mirror the partial report's charged phases exactly — the trace
+// equivalent of the dispatched-prefix partial-cost contract.
+func TestCancelledDiagnosisTraceWellFormed(t *testing.T) {
+	s, err := scenario.NewRedLights(scenario.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := s.Testbed
+	defer tb.Close()
+	tb.Run(30 * simtime.Millisecond)
+
+	alert, ok := tb.AlertFor(s.Victim)
+	if !ok {
+		t.Fatal("victim never triggered")
+	}
+	q := analyzer.RedLightsQuery{Alert: alert}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tb.Analyzer.HostBack = cancelOnHeaders{
+		HostBackend: analyzer.MemoryHosts{Agents: tb.Analyzer.Hosts},
+		cancel:      cancel,
+	}
+	defer func() { tb.Analyzer.HostBack = nil }()
+
+	rep, err := tb.Analyzer.Run(ctx, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled run returned no partial report")
+	}
+	if rep.TraceID == "" || rep.TraceID != analyzer.TraceID(q) {
+		t.Fatalf("TraceID = %q, want derived %q", rep.TraceID, analyzer.TraceID(q))
+	}
+	if rep.Trace == nil {
+		t.Fatal("cancelled run carries no trace")
+	}
+
+	// The root span must be closed at the clock's final reading and anchored
+	// at the query's virtual start.
+	var rootFound bool
+	for _, sp := range rep.Trace.Spans {
+		if sp.End < sp.Start {
+			t.Fatalf("span %s runs backwards: %v → %v", sp.ID, sp.Start, sp.End)
+		}
+		if sp.ID == "0" {
+			rootFound = true
+			if sp.Start != analyzer.QueryStart(q) {
+				t.Fatalf("root start = %v, want %v", sp.Start, analyzer.QueryStart(q))
+			}
+			if sp.End != rep.Clock.Now() {
+				t.Fatalf("root not closed at clock: end %v, clock %v", sp.End, rep.Clock.Now())
+			}
+		}
+	}
+	if !rootFound {
+		t.Fatal("trace has no root span")
+	}
+
+	// Every charged phase must appear as exactly one ordinal child span with
+	// matching name, order, and virtual duration — including the partial
+	// charge for the dispatched prefix of the cancelled round.
+	phases := rep.Clock.Phases()
+	if len(phases) == 0 {
+		t.Fatal("partial report charged no phases")
+	}
+	for i, ph := range phases {
+		id := strconv.Itoa(i + 1)
+		var found bool
+		for _, sp := range rep.Trace.Spans {
+			if sp.ID != id {
+				continue
+			}
+			found = true
+			if sp.Parent != "0" {
+				t.Fatalf("phase span %s parent = %q", id, sp.Parent)
+			}
+			if sp.Name != ph.Name {
+				t.Fatalf("phase span %s = %q, want charged phase %q", id, sp.Name, ph.Name)
+			}
+			if sp.Duration() != ph.Duration {
+				t.Fatalf("phase span %s duration %v, want charged %v", id, sp.Duration(), ph.Duration)
+			}
+		}
+		if !found {
+			t.Fatalf("charged phase %d (%s) has no span", i+1, ph.Name)
+		}
+	}
+	// And no phase spans beyond the charged ones.
+	if extra := strconv.Itoa(len(phases) + 1); rep.TraceID != "" {
+		for _, sp := range rep.Trace.Spans {
+			if sp.ID == extra {
+				t.Fatalf("trace has uncharged phase span %s (%s)", extra, sp.Name)
+			}
+		}
+	}
+	// The partial-cost contract: the consulted set is the dispatched prefix,
+	// never the full fan-out list.
+	if len(rep.Consulted) > rep.HostsContacted {
+		t.Fatalf("consulted %d > contacted %d", len(rep.Consulted), rep.HostsContacted)
+	}
+}

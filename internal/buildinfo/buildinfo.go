@@ -1,0 +1,14 @@
+// Package buildinfo carries the binary's version identity — the one string
+// every daemon and CLI reports consistently (-version flags, the /healthz
+// build stanza, and the spd_build_info metric). It imports nothing beyond
+// runtime so the deep deterministic packages can stay clear of it and it can
+// be linked anywhere without dragging the metrics plane in.
+package buildinfo
+
+import "runtime"
+
+// Version is the repo's release identity, bumped per PR series.
+var Version = "v0.10.0"
+
+// Go reports the toolchain that built the binary.
+func Go() string { return runtime.Version() }

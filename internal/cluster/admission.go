@@ -27,6 +27,7 @@ import (
 
 	"switchpointer/internal/analyzer"
 	"switchpointer/internal/hostagent"
+	"switchpointer/internal/trace"
 )
 
 // Typed admission outcomes. Callers distinguish "try later" (ErrRejected:
@@ -151,6 +152,11 @@ type Admission struct {
 	// atomic pointer so Run never takes a lock just to find out the
 	// controller is uninstrumented.
 	obs atomic.Pointer[admissionObs]
+
+	// Flight, when set, arms tracing: every admitted query records into a
+	// trace.Recorder (queue wait included) whose finished trace lands here.
+	// Set before serving; must not change while Runs are in flight.
+	Flight *trace.FlightRecorder
 }
 
 // NewAdmission wraps a Runner (typically *analyzer.Analyzer) in an
@@ -203,7 +209,7 @@ func (ad *Admission) Run(ctx context.Context, q analyzer.Query) (*analyzer.Repor
 		ad.inflight++
 		ad.admitted++
 		ad.mu.Unlock()
-		return ad.exec(ctx, q)
+		return ad.exec(ctx, q, 0)
 	}
 	if ad.queued >= ad.cfg.MaxQueued {
 		ad.rejected++
@@ -229,8 +235,10 @@ func (ad *Admission) Run(ctx context.Context, q analyzer.Query) (*analyzer.Repor
 	case <-w.grant:
 		// The releasing query transferred its slot (and counted the
 		// admission) under the mutex.
-		ad.observeQueueWait(prio, waitStart)
-		return ad.exec(ctx, q)
+		//splint:wallclock queue-wait latency is a real-time service metric on live daemons
+		wait := time.Since(waitStart)
+		ad.observeQueueWait(prio, wait)
+		return ad.exec(ctx, q, wait)
 	case <-ctx.Done():
 		if ad.abandon(prio, w, &ad.cancelled) {
 			return nil, ctx.Err()
@@ -249,34 +257,59 @@ func (ad *Admission) Run(ctx context.Context, q analyzer.Query) (*analyzer.Repor
 			return nil, fmt.Errorf("%w (after %v)", ErrExpired, ad.cfg.QueueWait)
 		}
 		// Granted at the deadline boundary: the slot is ours, so run.
-		ad.observeQueueWait(prio, waitStart)
-		return ad.exec(ctx, q)
+		//splint:wallclock queue-wait latency is a real-time service metric on live daemons
+		wait := time.Since(waitStart)
+		ad.observeQueueWait(prio, wait)
+		return ad.exec(ctx, q, wait)
 	}
 }
 
 // observeQueueWait records how long a queued query waited for its slot.
-func (ad *Admission) observeQueueWait(prio int, start time.Time) {
+func (ad *Admission) observeQueueWait(prio int, wait time.Duration) {
 	o := ad.obs.Load()
 	if o == nil {
 		return
 	}
-	//splint:wallclock queue-wait latency is a real-time service metric on live daemons
-	o.queueWait.With(priorityName(prio)).Observe(time.Since(start).Seconds())
+	o.queueWait.With(priorityName(prio)).Observe(wait.Seconds())
 }
 
 // exec runs an admitted query and releases its slot afterwards, recording
-// the diagnosis outcome when instruments are attached.
-func (ad *Admission) exec(ctx context.Context, q analyzer.Query) (*analyzer.Report, error) {
+// the diagnosis outcome when instruments are attached. wait is how long the
+// query sat in the overflow queue (zero when admitted immediately).
+func (ad *Admission) exec(ctx context.Context, q analyzer.Query, wait time.Duration) (*analyzer.Report, error) {
 	defer ad.release()
-	o := ad.obs.Load()
-	if o == nil {
-		return ad.run.Run(ctx, q)
+	if ad.Flight != nil {
+		rec := trace.FromContext(ctx)
+		if rec == nil {
+			rec = trace.NewRecorder(analyzer.TraceID(q), "analyzer", q.Name())
+			ctx = trace.NewContext(ctx, rec)
+		}
+		// Anchor at the query's own virtual start so the queue-wait span
+		// sits at the root's opening instant — it is virtual-instant (the
+		// clock never charges admission delay); the real wall wait rides
+		// along only as the exempt Wall annotation, which Canonical strips.
+		anchor := analyzer.QueryStart(q)
+		rec.Anchor(anchor)
+		rec.Record(trace.Span{
+			ID: "adm", Parent: "0", Name: "queue-wait", Role: "analyzer",
+			Start: anchor, End: anchor, Wall: wait.Nanoseconds(),
+		})
 	}
-	//splint:wallclock diagnosis wall latency is a real-time service metric on live daemons
-	start := time.Now()
-	rep, err := ad.run.Run(ctx, q)
-	//splint:wallclock diagnosis wall latency is a real-time service metric on live daemons
-	o.recordDiagnosis(q, rep, err, time.Since(start))
+	o := ad.obs.Load()
+	var rep *analyzer.Report
+	var err error
+	if o == nil {
+		rep, err = ad.run.Run(ctx, q)
+	} else {
+		//splint:wallclock diagnosis wall latency is a real-time service metric on live daemons
+		start := time.Now()
+		rep, err = ad.run.Run(ctx, q)
+		//splint:wallclock diagnosis wall latency is a real-time service metric on live daemons
+		o.recordDiagnosis(q, rep, err, time.Since(start))
+	}
+	if ad.Flight != nil && rep != nil && rep.Trace != nil {
+		ad.Flight.Add(*rep.Trace)
+	}
 	return rep, err
 }
 

@@ -12,6 +12,7 @@ import (
 	"switchpointer/internal/rpc"
 	"switchpointer/internal/scenario"
 	"switchpointer/internal/statesync"
+	"switchpointer/internal/trace"
 )
 
 // HostMux serves every host agent of a testbed on one handler, multiplexed
@@ -24,23 +25,29 @@ import (
 // daemon's self-observability rides along: GET /metrics (Prometheus text
 // over a HostRegistry) and GET /stats (the HostStatsDoc JSON).
 func HostMux(tb *scenario.Testbed, rd *statesync.Readiness) http.Handler {
-	return HostMuxWith(tb, rd, HostRegistry(tb, rd))
+	return HostMuxWith(tb, rd, HostRegistry(tb, rd), trace.NewFlightRecorder("host", 0))
 }
 
 // HostMuxWith is HostMux with a caller-supplied metric registry — the spd
 // daemon passes one so it can add process-level families (uptime) before
-// mounting.
-func HostMuxWith(tb *scenario.Testbed, rd *statesync.Readiness, reg *metrics.Registry) http.Handler {
+// mounting — and flight recorder. Each host agent's query handler records
+// child spans for traced requests into fr, served back at GET /traces; a nil
+// fr disables both.
+func HostMuxWith(tb *scenario.Testbed, rd *statesync.Readiness, reg *metrics.Registry, fr *trace.FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
 	for ip, ag := range tb.HostAgents {
 		prefix := "/hosts/" + ip.String()
-		mux.Handle(prefix+"/", http.StripPrefix(prefix, rpc.NewHostHandler(ag)))
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, rpc.NewTracedHostHandler(ag, ip.String(), fr)))
 		mux.Handle(prefix+"/snapshot", statesync.HostSnapshotHandler(ag))
 		mux.Handle(prefix+"/ingest", statesync.IngestHandler(ag, rd))
 	}
 	mux.Handle("/healthz", statesync.HealthzHandler(rd, hostStats(tb)))
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/stats", HostStatsHandler(tb, rd))
+	if fr != nil {
+		mux.Handle("/traces", http.StripPrefix("/traces", fr.Handler()))
+		mux.Handle("/traces/", http.StripPrefix("/traces", fr.Handler()))
+	}
 	return mux
 }
 
@@ -68,15 +75,16 @@ func hostStats(tb *scenario.Testbed) func() (resident, evictedSegments int) {
 // control-store slot count as its resident-record figure — what `spd
 // switch` serves. GET /metrics and GET /stats ride along as on HostMux.
 func SwitchMux(tb *scenario.Testbed, rd *statesync.Readiness) http.Handler {
-	return SwitchMuxWith(tb, rd, SwitchRegistry(tb, rd))
+	return SwitchMuxWith(tb, rd, SwitchRegistry(tb, rd), trace.NewFlightRecorder("switch", 0))
 }
 
-// SwitchMuxWith is SwitchMux with a caller-supplied metric registry.
-func SwitchMuxWith(tb *scenario.Testbed, rd *statesync.Readiness, reg *metrics.Registry) http.Handler {
+// SwitchMuxWith is SwitchMux with a caller-supplied metric registry and
+// flight recorder (nil disables span recording and the /traces endpoints).
+func SwitchMuxWith(tb *scenario.Testbed, rd *statesync.Readiness, reg *metrics.Registry, fr *trace.FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
 	for id, ag := range tb.SwitchAgents {
 		prefix := "/switches/" + strconv.Itoa(int(id))
-		mux.Handle(prefix+"/", http.StripPrefix(prefix, rpc.NewSwitchHandler(ag)))
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, rpc.NewTracedSwitchHandler(ag, strconv.Itoa(int(id)), fr)))
 	}
 	mux.Handle("/healthz", statesync.HealthzHandler(rd, func() (int, int) {
 		resident := 0
@@ -87,6 +95,10 @@ func SwitchMuxWith(tb *scenario.Testbed, rd *statesync.Readiness, reg *metrics.R
 	}))
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/stats", SwitchStatsHandler(tb, rd))
+	if fr != nil {
+		mux.Handle("/traces", http.StripPrefix("/traces", fr.Handler()))
+		mux.Handle("/traces/", http.StripPrefix("/traces", fr.Handler()))
+	}
 	return mux
 }
 
@@ -157,6 +169,14 @@ type Loopback struct {
 	// Client is pre-pointed at the analyzer service.
 	Client *Client
 
+	// HostFlight/SwitchFlight/AnalyzerFlight are the three daemons' trace
+	// flight recorders, served at each root's GET /traces. AnalyzerFlight
+	// advertises the other two as peers so a trace client can walk the
+	// whole trio from the analyzer alone.
+	HostFlight     *trace.FlightRecorder
+	SwitchFlight   *trace.FlightRecorder
+	AnalyzerFlight *trace.FlightRecorder
+
 	httpClient *rpc.HTTPClient
 	servers    []*http.Server
 }
@@ -165,14 +185,19 @@ type Loopback struct {
 // listeners. The testbed must be idle (run to its horizon) — the simulated
 // agents are served in place. Close releases everything.
 func NewLoopback(tb *scenario.Testbed, cfg AdmissionConfig) (*Loopback, error) {
-	lb := &Loopback{httpClient: rpc.NewPooledHTTPClient()}
+	lb := &Loopback{
+		httpClient:     rpc.NewPooledHTTPClient(),
+		HostFlight:     trace.NewFlightRecorder("host", 0),
+		SwitchFlight:   trace.NewFlightRecorder("switch", 0),
+		AnalyzerFlight: trace.NewFlightRecorder("analyzer", 0),
+	}
 
-	hostURL, err := lb.serve(HostMux(tb, nil))
+	hostURL, err := lb.serve(HostMuxWith(tb, nil, HostRegistry(tb, nil), lb.HostFlight))
 	if err != nil {
 		lb.Close()
 		return nil, err
 	}
-	switchURL, err := lb.serve(SwitchMux(tb, nil))
+	switchURL, err := lb.serve(SwitchMuxWith(tb, nil, SwitchRegistry(tb, nil), lb.SwitchFlight))
 	if err != nil {
 		lb.Close()
 		return nil, err
@@ -180,6 +205,7 @@ func NewLoopback(tb *scenario.Testbed, cfg AdmissionConfig) (*Loopback, error) {
 	lb.HostURL, lb.SwitchURL = hostURL, switchURL
 	lb.HostURLs = HostURLs(hostURL, tb)
 	lb.SwitchURLs = SwitchURLs(switchURL, tb)
+	lb.AnalyzerFlight.SetPeers(map[string]string{"hosts": hostURL, "switches": switchURL})
 
 	lb.Analyzer, err = NewRemoteAnalyzer(tb, lb.HostURLs, lb.SwitchURLs, lb.httpClient)
 	if err != nil {
@@ -187,6 +213,7 @@ func NewLoopback(tb *scenario.Testbed, cfg AdmissionConfig) (*Loopback, error) {
 		return nil, err
 	}
 	lb.Admission = NewAdmission(lb.Analyzer, cfg)
+	lb.Admission.Flight = lb.AnalyzerFlight
 	lb.AnalyzerURL, err = lb.serve(NewAnalyzerHandler(lb.Admission))
 	if err != nil {
 		lb.Close()

@@ -258,6 +258,7 @@ type admissionObs struct {
 	pointerRounds   *metrics.CounterVec
 	pointersCharged *metrics.CounterVec
 	queryRounds     *metrics.CounterVec
+	coldRounds      *metrics.CounterVec
 }
 
 // Observe attaches metric instruments to the controller. Pass a registry to
@@ -274,6 +275,7 @@ func (ad *Admission) Observe(reg *metrics.Registry) {
 		pointerRounds:   reg.Counter("spd_diagnosis_pointer_rounds_total", "Pointer pull rounds charged, by query kind.", "kind"),
 		pointersCharged: reg.Counter("spd_diagnosis_pointers_charged_total", "Pointer pulls charged, by query kind.", "kind"),
 		queryRounds:     reg.Counter("spd_diagnosis_query_rounds_total", "Host query rounds charged, by query kind.", "kind"),
+		coldRounds:      reg.Counter("spd_diagnosis_cold_rounds_total", "Cold read-back rounds charged, by query kind.", "kind"),
 	}
 	ad.obs.Store(o)
 }
@@ -291,6 +293,7 @@ func (o *admissionObs) recordDiagnosis(q analyzer.Query, rep *analyzer.Report, e
 		o.pointerRounds.With(kind).Add(float64(rep.Clock.PointerRounds()))
 		o.pointersCharged.With(kind).Add(float64(rep.Clock.PointersCharged()))
 		o.queryRounds.With(kind).Add(float64(rep.Clock.QueryRounds()))
+		o.coldRounds.With(kind).Add(float64(rep.Clock.ColdRounds()))
 	}
 }
 

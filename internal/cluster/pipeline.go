@@ -11,6 +11,7 @@ import (
 	"switchpointer/internal/netsim"
 	"switchpointer/internal/simtime"
 	"switchpointer/internal/topo"
+	"switchpointer/internal/trace"
 )
 
 // PipelineConfig tunes the alert enrichment/dedup pipeline in front of
@@ -84,6 +85,11 @@ type AlertPipeline struct {
 	cfg     PipelineConfig
 	forward func(EnrichedAlert)
 
+	// Flight, when set, receives one instant span per offered alert under
+	// the alert's derived diagnosis trace ID, so suppression decisions show
+	// up in the same trace tree as the diagnosis they gated.
+	Flight *trace.FlightRecorder
+
 	mu         sync.Mutex
 	lastSent   map[dedupKey]simtime.Time
 	tokens     float64
@@ -123,6 +129,7 @@ func (p *AlertPipeline) Offer(a hostagent.Alert) bool {
 		if last, ok := p.lastSent[key]; ok && now >= last && now-last < p.cfg.DedupWindow {
 			p.stats.Deduped++
 			p.mu.Unlock()
+			p.recordVerdict(a, "deduped")
 			return false
 		}
 	}
@@ -142,6 +149,7 @@ func (p *AlertPipeline) Offer(a hostagent.Alert) bool {
 		if p.tokens < 1 {
 			p.stats.RateLimited++
 			p.mu.Unlock()
+			p.recordVerdict(a, "rate-limited")
 			return false
 		}
 		p.tokens--
@@ -150,11 +158,36 @@ func (p *AlertPipeline) Offer(a hostagent.Alert) bool {
 	p.stats.Forwarded++
 	p.mu.Unlock()
 
+	p.recordVerdict(a, "forwarded")
 	ea := p.enrich(a)
 	if p.forward != nil {
 		p.forward(ea)
 	}
 	return true
+}
+
+// recordVerdict drops one instant span into the flight recorder under the
+// trace ID the alert's diagnosis would use, so the pipeline's decision joins
+// the diagnosis trace. Runs outside p.mu; the recorder has its own lock.
+func (p *AlertPipeline) recordVerdict(a hostagent.Alert, verdict string) {
+	if p.Flight == nil {
+		return
+	}
+	var q analyzer.Query
+	if a.Kind == hostagent.AlertTimeout {
+		q = analyzer.RedLightsQuery{Alert: a}
+	} else {
+		q = analyzer.ContentionQuery{Alert: a}
+	}
+	p.Flight.Record(analyzer.TraceID(q), trace.Span{
+		ID:     "pipe:" + verdict,
+		Parent: "0",
+		Name:   "alert-pipeline",
+		Role:   "analyzer",
+		Start:  a.DetectedAt,
+		End:    a.DetectedAt,
+		Attrs:  []trace.Attr{{Key: "verdict", Value: verdict}},
+	})
 }
 
 // enrich attaches directory context to a surviving alert.

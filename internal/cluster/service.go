@@ -12,6 +12,7 @@ import (
 
 	"switchpointer/internal/metrics"
 	"switchpointer/internal/statesync"
+	"switchpointer/internal/trace"
 )
 
 // DiagnoseResponse is the body POST /diagnose answers with. A fully
@@ -32,19 +33,23 @@ type DiagnoseResponse struct {
 //	GET  /metrics  — Prometheus text over an AnalyzerRegistry (admission
 //	                 occupancy plus per-query-kind diagnosis families).
 //	GET  /healthz  — statesync.Health JSON. The analyzer holds no telemetry
-//	                 and needs no bootstrap, so it reports state "live" with
-//	                 zero resident/evicted counts.
+//	and needs no bootstrap, so it reports state "live" with
+//	zero resident/evicted counts.
+//	GET  /traces   — the flight recorder's trace index; /traces/<id> one
+//	                 merged trace (only when a recorder is attached).
 //
 // Handlers are safe for concurrent requests; concurrency across diagnoses
 // is exactly what the admission controller bounds.
 func NewAnalyzerHandler(ad *Admission) http.Handler {
-	return NewAnalyzerHandlerWith(ad, AnalyzerRegistry(ad))
+	return NewAnalyzerHandlerWith(ad, AnalyzerRegistry(ad), ad.Flight)
 }
 
 // NewAnalyzerHandlerWith is NewAnalyzerHandler with a caller-supplied metric
 // registry (built by AnalyzerRegistry, possibly extended with process-level
-// families).
-func NewAnalyzerHandlerWith(ad *Admission, reg *metrics.Registry) http.Handler {
+// families) and flight recorder (nil disables the /traces endpoints; when
+// non-nil it should be the same recorder as ad.Flight so served traces
+// include the admission spans).
+func NewAnalyzerHandlerWith(ad *Admission, reg *metrics.Registry, fr *trace.FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/diagnose", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -66,7 +71,13 @@ func NewAnalyzerHandlerWith(ad *Admission, reg *metrics.Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		rep, err := ad.Run(r.Context(), q)
+		ctx := r.Context()
+		if env.TraceID != "" {
+			// The client pinned a trace ID: install a recorder under that ID
+			// so the admission controller adopts it instead of deriving one.
+			ctx = trace.NewContext(ctx, trace.NewRecorder(env.TraceID, "analyzer", q.Name()))
+		}
+		rep, err := ad.Run(ctx, q)
 		switch {
 		case errors.Is(err, ErrRejected):
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
@@ -90,6 +101,10 @@ func NewAnalyzerHandlerWith(ad *Admission, reg *metrics.Registry) http.Handler {
 	})
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/healthz", statesync.HealthzHandler(nil, nil))
+	if fr != nil {
+		mux.Handle("/traces", http.StripPrefix("/traces", fr.Handler()))
+		mux.Handle("/traces/", http.StripPrefix("/traces", fr.Handler()))
+	}
 	return mux
 }
 

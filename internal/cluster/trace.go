@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"switchpointer/internal/trace"
+)
+
+// FetchTraceIndex pulls one daemon's GET /traces index — its role, the trace
+// IDs currently in its flight recorder, and (on the analyzer) its peers'
+// roots for walking the rest of the trio.
+func FetchTraceIndex(ctx context.Context, hc *http.Client, baseURL string) (trace.Index, error) {
+	var idx trace.Index
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/traces", nil)
+	if err != nil {
+		return idx, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return idx, fmt.Errorf("cluster: fetch trace index: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return idx, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return idx, fmt.Errorf("cluster: /traces status %d", resp.StatusCode)
+	}
+	return idx, json.Unmarshal(body, &idx)
+}
+
+// FetchTrace pulls one trace by ID from a daemon's flight recorder. A 404
+// (the daemon never saw the trace, or it was evicted) returns ok=false with
+// no error, so callers can probe every daemon and merge what answers.
+func FetchTrace(ctx context.Context, hc *http.Client, baseURL, id string) (trace.Trace, bool, error) {
+	var t trace.Trace
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/traces/"+id, nil)
+	if err != nil {
+		return t, false, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return t, false, fmt.Errorf("cluster: fetch trace %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return t, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.Unmarshal(body, &t); err != nil {
+			return t, false, err
+		}
+		return t, true, nil
+	case http.StatusNotFound:
+		return t, false, nil
+	default:
+		return t, false, fmt.Errorf("cluster: /traces/%s status %d", id, resp.StatusCode)
+	}
+}
+
+// MergeTraces folds per-daemon views of the same trace into one canonical
+// tree: spans deduplicate by ID (first daemon wins — span IDs are globally
+// deterministic, so duplicates are byte-equal modulo wall annotations) and
+// sort canonically. Views under other trace IDs are ignored.
+func MergeTraces(id string, views ...trace.Trace) trace.Trace {
+	merged := trace.Trace{ID: id}
+	seen := make(map[string]bool)
+	for _, v := range views {
+		if v.ID != id {
+			continue
+		}
+		for _, s := range v.Spans {
+			if seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			merged.Spans = append(merged.Spans, s)
+		}
+	}
+	return merged.Sorted()
+}

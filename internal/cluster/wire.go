@@ -28,6 +28,11 @@ type QueryEnvelope struct {
 	Window simtime.EpochRange `json:"window,omitzero"`
 	Mode   analyzer.TopKMode  `json:"mode,omitempty"`
 	At     simtime.Time       `json:"at,omitempty"`
+
+	// TraceID, when set, pins the diagnosis trace ID instead of letting the
+	// analyzer derive it from the query (they coincide for well-formed
+	// clients, since spctl derives it the same way).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Envelope wraps an analyzer.Query in its wire form.
@@ -122,6 +127,11 @@ type WireReport struct {
 	PointerRounds   int          `json:"pointer_rounds"`
 	PointersCharged int          `json:"pointers_charged"`
 	QueryRounds     int          `json:"query_rounds"`
+	ColdRounds      int          `json:"cold_rounds,omitempty"`
+
+	// TraceID names the diagnosis trace held in the daemons' flight
+	// recorders (GET /traces/<id>); empty when tracing was disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // WireFromReport flattens a Report (including its Clock) into wire form.
@@ -161,7 +171,9 @@ func WireFromReport(r *analyzer.Report) *WireReport {
 		w.PointerRounds = r.Clock.PointerRounds()
 		w.PointersCharged = r.Clock.PointersCharged()
 		w.QueryRounds = r.Clock.QueryRounds()
+		w.ColdRounds = r.Clock.ColdRounds()
 	}
+	w.TraceID = r.TraceID
 	return w
 }
 

@@ -31,6 +31,7 @@ var deterministicPkgs = map[string]bool{
 	"hostagent":   true,
 	"switchagent": true,
 	"experiments": true,
+	"trace":       true,
 }
 
 // wallClockFuncs are the time package entry points that read or wait on

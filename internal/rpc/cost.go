@@ -17,10 +17,17 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 
 	"switchpointer/internal/simtime"
+	"switchpointer/internal/trace"
 )
+
+// PhaseColdReadBack names the clock phase charged for cold-segment
+// read-back rounds; the Clock counts them (ColdRounds) so traces and
+// /metrics agree on the same denominator.
+const PhaseColdReadBack = "cold-read-back"
 
 // CostModel parameterizes the virtual-time communication costs, calibrated
 // to the latencies the paper reports (§5, §6.2).
@@ -99,6 +106,9 @@ type Clock struct {
 	pullRounds   int // batched pointer-pull rounds (PointersPulled calls)
 	pullsCharged int // individual switch pulls across all rounds
 	queryRounds  int // host query rounds (HostsQueried calls)
+	coldRounds   int // cold read-back rounds (PhaseColdReadBack charges)
+
+	rec *trace.Recorder // when set, every charge also emits a span
 }
 
 // Phase is one named span of a diagnosis timeline.
@@ -138,14 +148,51 @@ func (c *Clock) Total() simtime.Time {
 	return total
 }
 
-// spend advances the clock and records a phase.
+// spend advances the clock and records a phase (and, when tracing is
+// armed, the matching span). The charge sequence within a procedure is
+// sequential, so span ordinals are deterministic.
 func (c *Clock) spend(name string, d simtime.Time) {
 	if d < 0 {
 		d = 0
 	}
+	start := c.now
 	c.now += d
 	c.phases = append(c.phases, Phase{Name: name, Duration: d})
+	if name == PhaseColdReadBack {
+		c.coldRounds++
+	}
+	if c.rec != nil {
+		c.rec.Phase(name, start, c.now)
+	}
 }
+
+// Trace arms span emission: every subsequent charge becomes a child span
+// on rec, anchored at the clock's current virtual time. A nil rec is a
+// no-op, so callers can pass trace.FromContext(ctx) unconditionally.
+func (c *Clock) Trace(rec *trace.Recorder) {
+	c.rec = rec
+	if rec != nil {
+		rec.Anchor(c.now)
+	}
+}
+
+// RemoteCtx attaches the outbound trace context for requests issued in the
+// round about to be charged: child spans emitted by the daemons that serve
+// those requests parent under the next phase ordinal at the clock's current
+// virtual time. Without an armed recorder it returns ctx unchanged.
+func (c *Clock) RemoteCtx(ctx context.Context) context.Context {
+	if c.rec == nil {
+		return ctx
+	}
+	return trace.ContextWithRemote(ctx, trace.RemoteContext{
+		TraceID: c.rec.ID(),
+		Parent:  c.rec.NextPhaseID(),
+		At:      c.now,
+	})
+}
+
+// ColdRounds returns how many cold read-back rounds have been charged.
+func (c *Clock) ColdRounds() int { return c.coldRounds }
 
 // Spend records an explicitly-costed phase (e.g. detection latency measured
 // by the host trigger).
@@ -167,6 +214,9 @@ func (c *Clock) PointersPulled(n int) {
 	c.pullsCharged += n
 	d := c.cost.PointerPull + simtime.Time(n-1)*c.cost.PointerPullExtra
 	c.spend("pointer-retrieval", d)
+	if c.rec != nil {
+		c.rec.AnnotateLast(trace.Attr{Key: "switches", Value: fmt.Sprintf("%d", n)})
+	}
 }
 
 // PointerRounds returns how many batched pointer-pull round trips have been
@@ -204,6 +254,22 @@ func (c *Clock) HostsQueried(phase string, servers []string, recs []int) {
 		init += c.cost.ConnInit
 	}
 	c.spend(phase, init+c.cost.RTT+c.maxExec(servers, recs))
+	c.annotateRound(servers, recs)
+}
+
+// annotateRound labels the just-charged query-round span with its fan-out.
+func (c *Clock) annotateRound(servers []string, recs []int) {
+	if c.rec == nil {
+		return
+	}
+	total := 0
+	for _, n := range recs {
+		total += n
+	}
+	c.rec.AnnotateLast(
+		trace.Attr{Key: "servers", Value: fmt.Sprintf("%d", len(servers))},
+		trace.Attr{Key: "records", Value: fmt.Sprintf("%d", total)},
+	)
 }
 
 // HostsQueriedParallel accounts one query round under the concurrent
@@ -225,6 +291,7 @@ func (c *Clock) HostsQueriedParallel(phase string, servers []string, recs []int)
 		init = c.cost.ConnInit // overlapped: one initiation covers the round
 	}
 	c.spend(phase, init+c.cost.RTT+c.maxExec(servers, recs))
+	c.annotateRound(servers, recs)
 }
 
 // maxExec returns the slowest per-server execution time of a round.

@@ -19,6 +19,7 @@ import (
 	"switchpointer/internal/simtime"
 	"switchpointer/internal/switchagent"
 	"switchpointer/internal/topo"
+	"switchpointer/internal/trace"
 )
 
 // This file is the real-network binding of the agent query interfaces:
@@ -184,8 +185,41 @@ func (pr *PointersResponse) Decode() (*bitset.Set, error) {
 	return &s, nil
 }
 
+// recordChild emits a virtual-instant child span into the daemon's flight
+// recorder when the request carries trace context: the span sits at the
+// analyzer's virtual send time, parents under the phase ordinal the round
+// will charge, and derives its ID from (parent, role, label, endpoint) so
+// the same diagnosis yields the same tree on every execution path.
+func recordChild(fr *trace.FlightRecorder, role, label string, r *http.Request, name string, attrs ...trace.Attr) {
+	if fr == nil {
+		return
+	}
+	rc, ok := trace.ParseRemote(r.Header.Get(trace.Header))
+	if !ok {
+		return
+	}
+	fr.Record(rc.TraceID, trace.Span{
+		ID:     rc.Parent + "." + role + ":" + label + ":" + name,
+		Parent: rc.Parent,
+		Name:   name,
+		Role:   role,
+		Start:  rc.At,
+		End:    rc.At,
+		Attrs:  attrs,
+	})
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
 // NewHostHandler exposes a host agent's query executors over HTTP.
 func NewHostHandler(a *hostagent.Agent) http.Handler {
+	return NewTracedHostHandler(a, "", nil)
+}
+
+// NewTracedHostHandler is NewHostHandler with a flight recorder: requests
+// carrying an X-SP-Trace header additionally emit child spans (records
+// returned, cold decode counts) under the daemon's label (its host IP).
+func NewTracedHostHandler(a *hostagent.Agent, label string, fr *trace.FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/headers", func(w http.ResponseWriter, r *http.Request) {
 		var req HeadersRequest
@@ -197,6 +231,10 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 			Epochs: simtime.EpochRange{Lo: req.EpochLo, Hi: req.EpochHi},
 			Flows:  req.Flows,
 		})
+		recordChild(fr, "host", label, r, "headers",
+			trace.Attr{Key: "records", Value: itoa(len(ans.Records))},
+			trace.Attr{Key: "cold_segments", Value: itoa(ans.ColdSegments)},
+			trace.Attr{Key: "cold_returned", Value: itoa(ans.ColdReturned)})
 		writeJSON(w, headersToWire(ans))
 	})
 	mux.HandleFunc("/headers-batch", func(w http.ResponseWriter, r *http.Request) {
@@ -214,9 +252,17 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 		}
 		answers := a.QueryHeadersMulti(r.Context(), qs)
 		resp := HeadersBatchResponse{Answers: make([]HeadersResponse, len(answers))}
+		records, coldSegments, coldReturned := 0, 0, 0
 		for i, ans := range answers {
 			resp.Answers[i] = headersToWire(ans)
+			records += len(ans.Records)
+			coldSegments += ans.ColdSegments
+			coldReturned += ans.ColdReturned
 		}
+		recordChild(fr, "host", label, r, "headers-batch",
+			trace.Attr{Key: "records", Value: itoa(records)},
+			trace.Attr{Key: "cold_segments", Value: itoa(coldSegments)},
+			trace.Attr{Key: "cold_returned", Value: itoa(coldReturned)})
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/topk", func(w http.ResponseWriter, r *http.Request) {
@@ -224,14 +270,20 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, a.QueryTopK(r.Context(), req.Switch, req.K))
+		flows := a.QueryTopK(r.Context(), req.Switch, req.K)
+		recordChild(fr, "host", label, r, "topk",
+			trace.Attr{Key: "flows", Value: itoa(len(flows))})
+		writeJSON(w, flows)
 	})
 	mux.HandleFunc("/flowsizes", func(w http.ResponseWriter, r *http.Request) {
 		var req FlowSizesRequest
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, a.QueryFlowSizes(r.Context(), req.Switch))
+		sizes := a.QueryFlowSizes(r.Context(), req.Switch)
+		recordChild(fr, "host", label, r, "flowsizes",
+			trace.Attr{Key: "flows", Value: itoa(len(sizes))})
+		writeJSON(w, sizes)
 	})
 	mux.HandleFunc("/priority", func(w http.ResponseWriter, r *http.Request) {
 		var req PriorityRequest
@@ -239,6 +291,8 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 			return
 		}
 		prio, known := a.QueryPriority(r.Context(), req.Flow)
+		recordChild(fr, "host", label, r, "priority",
+			trace.Attr{Key: "known", Value: fmt.Sprintf("%v", known)})
 		writeJSON(w, PriorityResponse{Priority: prio, Known: known})
 	})
 	mux.HandleFunc("/record", func(w http.ResponseWriter, r *http.Request) {
@@ -247,6 +301,8 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 			return
 		}
 		rec, known := a.LookupRecord(r.Context(), req.Flow)
+		recordChild(fr, "host", label, r, "record",
+			trace.Attr{Key: "known", Value: fmt.Sprintf("%v", known)})
 		writeJSON(w, RecordResponse{Record: rec, Known: known})
 	})
 	return mux
@@ -260,6 +316,13 @@ func NewHostHandler(a *hostagent.Agent) http.Handler {
 // switches (separate handlers) still proceed in parallel, which is what
 // the batched round relies on.
 func NewSwitchHandler(a *switchagent.Agent) http.Handler {
+	return NewTracedSwitchHandler(a, "", nil)
+}
+
+// NewTracedSwitchHandler is NewSwitchHandler with a flight recorder:
+// pointer pulls carrying an X-SP-Trace header additionally emit child spans
+// (level, slot count, approx flag) under the daemon's label (its switch ID).
+func NewTracedSwitchHandler(a *switchagent.Agent, label string, fr *trace.FlightRecorder) http.Handler {
 	var mu sync.Mutex
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pointers", func(w http.ResponseWriter, r *http.Request) {
@@ -275,6 +338,12 @@ func NewSwitchHandler(a *switchagent.Agent) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		recordChild(fr, "switch", label, r, "pointers",
+			trace.Attr{Key: "level", Value: itoa(res.Info.Level)},
+			trace.Attr{Key: "slots", Value: itoa(res.Info.Slots)},
+			trace.Attr{Key: "covered", Value: fmt.Sprintf("%v", res.Info.Covered)},
+			trace.Attr{Key: "source", Value: res.Source},
+			trace.Attr{Key: "approx", Value: fmt.Sprintf("%v", !res.Exact)})
 		writeJSON(w, PointersResponse{
 			HostsB64: base64.StdEncoding.EncodeToString(raw),
 			Level:    res.Info.Level,
@@ -436,6 +505,9 @@ func (c *HTTPClient) post(ctx context.Context, url string, req, resp any) error 
 		return fmt.Errorf("rpc: request %s: %w", url, err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if rc, ok := trace.RemoteFromContext(ctx); ok {
+		httpReq.Header.Set(trace.Header, rc.Encode())
+	}
 	httpResp, err := c.HTTP.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("rpc: post %s: %w", url, err)
@@ -473,6 +545,9 @@ func (c *HTTPClient) get(ctx context.Context, url string, resp any) error {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return fmt.Errorf("rpc: request %s: %w", url, err)
+	}
+	if rc, ok := trace.RemoteFromContext(ctx); ok {
+		httpReq.Header.Set(trace.Header, rc.Encode())
 	}
 	httpResp, err := c.HTTP.Do(httpReq)
 	if err != nil {

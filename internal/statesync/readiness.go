@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync/atomic"
+
+	"switchpointer/internal/buildinfo"
 )
 
 // State is a daemon's readiness.
@@ -102,6 +104,16 @@ type Health struct {
 	BootstrapRecords  int64 `json:"bootstrap_records,omitempty"`
 	IngestBatches     int64 `json:"ingest_batches,omitempty"`
 	IngestRecords     int64 `json:"ingest_records,omitempty"`
+
+	// Build identifies the serving binary — version skew across a trio is
+	// the first thing to rule out when daemons disagree.
+	Build BuildInfo `json:"build"`
+}
+
+// BuildInfo is the /healthz build stanza.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
 }
 
 // HealthzHandler serves GET /healthz as a Health JSON document. stats
@@ -110,7 +122,10 @@ type Health struct {
 // permanently live.
 func HealthzHandler(rd *Readiness, stats func() (resident, evictedSegments int)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		h := Health{State: StateLive.String()}
+		h := Health{
+			State: StateLive.String(),
+			Build: BuildInfo{Version: buildinfo.Version, GoVersion: buildinfo.Go()},
+		}
 		if rd != nil {
 			h.State = rd.State().String()
 			h.BootstrapSegments = rd.bootSegments.Load()

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"switchpointer/internal/buildinfo"
 	"switchpointer/internal/flowrec"
 	"switchpointer/internal/hostagent"
 	"switchpointer/internal/netsim"
@@ -144,7 +145,8 @@ func TestReadinessHealthz(t *testing.T) {
 
 	h := fetch()
 	want := Health{State: "syncing", ResidentRecords: 42, EvictedSegments: 2,
-		BootstrapSegments: 3, BootstrapRecords: 17, IngestBatches: 1, IngestRecords: 5}
+		BootstrapSegments: 3, BootstrapRecords: 17, IngestBatches: 1, IngestRecords: 5,
+		Build: BuildInfo{Version: buildinfo.Version, GoVersion: buildinfo.Go()}}
 	if h != want {
 		t.Fatalf("healthz = %+v, want %+v", h, want)
 	}

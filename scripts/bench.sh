@@ -15,7 +15,7 @@
 #               ever slows a run down, so the minimum is the closest sample
 #               to the true cost
 #
-# Output schema (out.json, default BENCH_PR9.json):
+# Output schema (out.json, default BENCH_PR10.json):
 #   {
 #     "benchtime": "3x",
 #     "baseline":  { "<Benchmark>": {"ns_per_op":…, "b_per_op":…,
@@ -24,14 +24,14 @@
 #   }
 # "current" is overwritten on every run. "baseline" is preserved when the
 # output file already has one; on a fresh file the baseline seeds from the
-# previous PR's artifact if present (BENCH_PR8.json seeds from
-# BENCH_PR7.json's "current" — the state this PR started from), else from
+# previous PR's artifact if present (BENCH_PR10.json seeds from
+# BENCH_PR9.json's "current" — the state this PR started from), else from
 # this first run.
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
-SEED_FROM="BENCH_PR8.json"
+OUT="${1:-BENCH_PR10.json}"
+SEED_FROM="BENCH_PR9.json"
 BENCHTIME="${BENCHTIME:-3x}"
 PATTERN="${PATTERN:-.}"
 BENCHCOUNT="${BENCHCOUNT:-5}"

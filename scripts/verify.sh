@@ -27,7 +27,7 @@ go test ./...
 # snapshot streaming, bootstrap, ingest, segment log — plus the switch
 # agents, the packet simulator, and the root-package integration tests).
 # Scoped to these packages so the full gate stays fast.
-go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync ./internal/switchagent ./internal/netsim .
+go test -race ./internal/analyzer ./internal/rpc ./internal/hostagent ./internal/store ./internal/eventq ./internal/cluster ./internal/statesync ./internal/switchagent ./internal/netsim ./internal/trace .
 
 mkdir -p bin
 go build -o bin/ ./cmd/...
@@ -86,6 +86,35 @@ case "$SMOKE_OUT" in
 *) echo "e2e smoke: FAILED (unexpected report above)"; exit 1 ;;
 esac
 
+# Version smoke: both binaries identify themselves.
+./bin/spd -version | grep -q "^spd v" || { echo "version smoke: spd -version broken" >&2; exit 1; }
+./bin/spctl -version | grep -q "^spctl v" || { echo "version smoke: spctl -version broken" >&2; exit 1; }
+
+# Trace smoke: the diagnosis above left a trace in every daemon's flight
+# recorder. spctl -trace merges the trio's views into one span tree, which
+# must contain spans from all three roles; the canonical JSON form must be
+# byte-identical to the committed golden (the same bytes the loopback test
+# gates — proving loopback and a real spd trio produce the same trace), and
+# a second fetch+merge must be byte-identical to the first (/traces is
+# deterministic and read-only).
+TRACE_TREE="$(./bin/spctl -trace "http://$ANALYZER_ADDR")"
+echo "$TRACE_TREE"
+for roletag in "[analyzer]" "[host]" "[switch]"; do
+	case "$TRACE_TREE" in
+	*"$roletag"*) ;;
+	*) echo "trace smoke: merged trace missing $roletag spans" >&2; exit 1 ;;
+	esac
+done
+./bin/spctl -json -trace "http://$ANALYZER_ADDR" >"$SMOKE_DIR/trace1.json"
+if ! cmp -s "$SMOKE_DIR/trace1.json" internal/cluster/testdata/redlights_trace.golden.json; then
+	echo "trace smoke: trio trace diverged from committed golden" >&2
+	diff internal/cluster/testdata/redlights_trace.golden.json "$SMOKE_DIR/trace1.json" >&2 || true
+	exit 1
+fi
+./bin/spctl -json -trace "http://$ANALYZER_ADDR" >"$SMOKE_DIR/trace2.json"
+cmp "$SMOKE_DIR/trace1.json" "$SMOKE_DIR/trace2.json" || { echo "trace smoke: double fetch not byte-identical" >&2; exit 1; }
+echo "trace smoke: OK"
+
 # Observability smoke: every role of the trio serves Prometheus /metrics.
 # spctl scrapes and parses each endpoint (exit non-zero on malformed
 # exposition text) and the required metric families must be present per
@@ -110,14 +139,15 @@ scrape_expect "http://$HOST_ADDR" \
 	spd_store_resident_records spd_store_lock_acquires_total \
 	spd_absorbed_packets_total spd_cold_segments_decoded_total \
 	spd_coldlog_segment_writes_total spd_statesync_bootstrap_segments_total \
-	spd_ready spd_process_uptime_seconds
+	spd_ready spd_process_uptime_seconds spd_build_info
 scrape_expect "http://$SWITCH_ADDR" \
 	spd_pointer_pulls_total spd_pointer_approx_pulls_total \
 	spd_pointer_resident_bytes spd_switch_memory_bytes \
-	spd_control_store_slots spd_ready
+	spd_control_store_slots spd_ready spd_build_info
 scrape_expect "http://$ANALYZER_ADDR" \
 	spd_admission_in_flight spd_admission_admitted_total \
 	spd_diagnosis_total spd_admission_queue_depth \
+	spd_diagnosis_cold_rounds_total spd_build_info \
 	spd_alerts_received_total spd_alerts_forwarded_total spd_ready
 echo "metrics smoke: OK"
 
